@@ -1,0 +1,299 @@
+// Command asulab drives the emulated active-storage laboratory: it
+// regenerates every figure and table of the paper's evaluation plus the
+// ablations catalogued in DESIGN.md.
+//
+// Usage:
+//
+//	asulab fig9   [-n N] [-seed S] [-c RATIO]
+//	asulab fig10  [-n N] [-seed S]
+//	asulab cratio [-n N] [-alpha A]
+//	asulab gamma  [-n N]
+//	asulab routes [-n N]
+//	asulab rtree  [-entries N] [-asus D]
+//	asulab terraflow [-w W] [-h H] [-asus D]
+//	asulab all    (runs everything at default sizes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmas/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "fig9":
+		err = runFig9(args)
+	case "fig10":
+		err = runFig10(args)
+	case "cratio":
+		err = runCRatio(args)
+	case "gamma":
+		err = runGamma(args)
+	case "routes":
+		err = runRoutes(args)
+	case "rtree":
+		err = runRTree(args)
+	case "terraflow":
+		err = runTerra(args)
+	case "iso", "isolation":
+		err = runIso(args)
+	case "hybrid":
+		err = runHybrid(args)
+	case "packet":
+		err = runPacket(args)
+	case "filter":
+		err = runFilter(args)
+	case "adapt":
+		err = runAdapt(args)
+	case "onepass":
+		err = runOnePass(args)
+	case "all":
+		err = runAll()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "asulab: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asulab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `asulab — emulated active-storage experiments
+
+commands:
+  fig9       DSM-Sort speedup vs #ASUs per alpha (paper Figure 9)
+  fig10      host utilization under skew, static vs load-managed (Figure 10)
+  cratio     speedup sensitivity to the host/ASU power ratio c (TAB-C)
+  gamma      merge split between ASUs and hosts (TAB-GAMMA)
+  routes     routing-policy ablation under skew (TAB-ROUTE)
+  rtree      partitioned vs striped distributed R-trees (TAB-RTREE)
+  terraflow  TerraFlow watershed phase breakdown (TAB-TERRA)
+  iso        performance isolation of foreground storage requests (TAB-ISO)
+  hybrid     functor migration between ASUs and hosts (TAB-HYBRID)
+  packet     interconnect packet-size sweep (TAB-PACKET)
+  filter     selection-scan filter pushdown vs selectivity (TAB-FILTER)
+  adapt      mid-run routing-policy adaptation under skew (TAB-ADAPT)
+  onepass    one-pass cluster sort vs DSM-Sort across the memory wall (TAB-ONEPASS)
+  all        run everything at default sizes`)
+}
+
+func runFig9(args []string) error {
+	fs := flag.NewFlagSet("fig9", flag.ExitOnError)
+	opt := experiments.DefaultFig9Options()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	fs.Float64Var(&opt.C, "c", opt.C, "host/ASU power ratio")
+	fs.Parse(args)
+	res, err := experiments.RunFig9(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runFig10(args []string) error {
+	fs := flag.NewFlagSet("fig10", flag.ExitOnError)
+	opt := experiments.DefaultFig10Options()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	fs.Parse(args)
+	res, err := experiments.RunFig10(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Summary())
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runCRatio(args []string) error {
+	fs := flag.NewFlagSet("cratio", flag.ExitOnError)
+	opt := experiments.DefaultCRatioOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.IntVar(&opt.Alpha, "alpha", opt.Alpha, "distribute order")
+	fs.Parse(args)
+	res, err := experiments.RunCRatio(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runGamma(args []string) error {
+	fs := flag.NewFlagSet("gamma", flag.ExitOnError)
+	opt := experiments.DefaultGammaOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Parse(args)
+	res, err := experiments.RunGamma(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runRoutes(args []string) error {
+	fs := flag.NewFlagSet("routes", flag.ExitOnError)
+	opt := experiments.DefaultRoutingOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Parse(args)
+	res, err := experiments.RunRouting(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runRTree(args []string) error {
+	fs := flag.NewFlagSet("rtree", flag.ExitOnError)
+	opt := experiments.DefaultRTreeOptions()
+	fs.IntVar(&opt.Entries, "entries", opt.Entries, "indexed rectangles")
+	fs.IntVar(&opt.ASUs, "asus", opt.ASUs, "ASU count")
+	fs.Parse(args)
+	res, err := experiments.RunRTree(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runTerra(args []string) error {
+	fs := flag.NewFlagSet("terraflow", flag.ExitOnError)
+	opt := experiments.DefaultTerraOptions()
+	fs.IntVar(&opt.W, "w", opt.W, "grid width")
+	fs.IntVar(&opt.H, "h", opt.H, "grid height")
+	fs.IntVar(&opt.ASUs, "asus", opt.ASUs, "ASU count")
+	fs.Parse(args)
+	res, err := experiments.RunTerra(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runIso(args []string) error {
+	fs := flag.NewFlagSet("iso", flag.ExitOnError)
+	opt := experiments.DefaultIsolationOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Parse(args)
+	res, err := experiments.RunIsolation(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runHybrid(args []string) error {
+	fs := flag.NewFlagSet("hybrid", flag.ExitOnError)
+	opt := experiments.DefaultHybridOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.IntVar(&opt.Alpha, "alpha", opt.Alpha, "distribute order")
+	fs.Parse(args)
+	res, err := experiments.RunHybrid(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runPacket(args []string) error {
+	fs := flag.NewFlagSet("packet", flag.ExitOnError)
+	opt := experiments.DefaultPacketOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Parse(args)
+	res, err := experiments.RunPacket(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+	opt := experiments.DefaultFilterOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.IntVar(&opt.ASUs, "asus", opt.ASUs, "ASU count")
+	fs.Parse(args)
+	res, err := experiments.RunFilter(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	opt := experiments.DefaultAdaptOptions()
+	fs.IntVar(&opt.N, "n", opt.N, "input records")
+	fs.Parse(args)
+	res, err := experiments.RunAdapt(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runOnePass(args []string) error {
+	fs := flag.NewFlagSet("onepass", flag.ExitOnError)
+	opt := experiments.DefaultOnePassOptions()
+	fs.IntVar(&opt.Hosts, "hosts", opt.Hosts, "sort-node count")
+	fs.Parse(args)
+	res, err := experiments.RunOnePass(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	return nil
+}
+
+func runAll() error {
+	steps := []struct {
+		name string
+		fn   func([]string) error
+	}{
+		{"fig9", runFig9},
+		{"fig10", runFig10},
+		{"cratio", runCRatio},
+		{"gamma", runGamma},
+		{"routes", runRoutes},
+		{"rtree", runRTree},
+		{"terraflow", runTerra},
+		{"iso", runIso},
+		{"hybrid", runHybrid},
+		{"packet", runPacket},
+		{"filter", runFilter},
+		{"adapt", runAdapt},
+		{"onepass", runOnePass},
+	}
+	for _, s := range steps {
+		fmt.Printf("== %s ==\n", s.name)
+		if err := s.fn(nil); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// TerraFlow example: watershed analysis of a synthetic terrain on active
+// storage — grid restructuring and sorting accelerate on the ASUs while the
+// time-forward coloring stays on the host.
+//
+//	go run ./examples/terraflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lmas"
+	"lmas/internal/cluster"
+	"lmas/internal/terraflow"
+)
+
+func main() {
+	params := lmas.DefaultParams()
+	params.Hosts, params.ASUs = 1, 8
+	params.RecordSize = terraflow.CellRecordSize
+	cl := cluster.New(params)
+
+	// A 128x128 terrain shaped by five basins.
+	g, basins := terraflow.SyntheticBasins(128, 128, 5, 10, 7)
+
+	res, err := terraflow.Run(cl, g, terraflow.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("terrain: %dx%d cells, %d basins placed\n", g.W, g.H, len(basins))
+	fmt.Printf("watersheds found: %d (validated against reference)\n", res.Watersheds)
+	fmt.Printf("  step 1  restructure grid -> cell set:  %.4fs (parallel on ASUs)\n",
+		res.Restructure.Seconds())
+	fmt.Printf("  step 2  sort cells by elevation:       %.4fs (DSM-Sort on ASUs+host)\n",
+		res.Sort.Seconds())
+	fmt.Printf("  step 3  time-forward coloring:         %.4fs (host only)\n",
+		res.Watershed.Seconds())
+	fmt.Printf("  total:                                 %.4fs\n", res.Total().Seconds())
+
+	// Where does each basin's area go?
+	area := map[uint32]int{}
+	for _, c := range res.Colors {
+		area[c]++
+	}
+	fmt.Println("watershed areas:")
+	for color, cells := range area {
+		x, y := int(color)%g.W, int(color)/g.W
+		fmt.Printf("  minimum at (%3d,%3d): %5d cells (%.1f%%)\n",
+			x, y, cells, 100*float64(cells)/float64(g.Cells()))
+	}
+}

@@ -1,0 +1,3 @@
+module lmas
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package bte implements the Block Transfer Engine abstraction from TPIE:
+// "A pluggable Block Transfer Engine (BTE) abstracts the underlying storage
+// system block access operations, facilitating portability to various
+// storage and access models" (Section 3.1).
+//
+// An Engine stores opaque blocks and charges the appropriate virtual-time
+// costs when they are transferred. The Memory engine is free (used for pure
+// algorithm tests and for host-resident intermediate data); the Disk engine
+// charges transfer time on an emulated ASU disk, including its read-ahead
+// and write-behind behaviour.
+package bte
+
+import (
+	"fmt"
+
+	"lmas/internal/disk"
+	"lmas/internal/sim"
+)
+
+// BlockID names a stored block within one Engine.
+type BlockID int32
+
+// Engine is a block store with timing semantics.
+type Engine interface {
+	// Append stores data as a new block and returns its id. The engine
+	// keeps a reference to data; callers must not mutate it afterwards.
+	Append(p *sim.Proc, data []byte) BlockID
+	// Read returns the block's contents. Callers must treat the result
+	// as read-only.
+	Read(p *sim.Proc, id BlockID) []byte
+	// Peek returns the block's contents without charging any virtual
+	// time or perturbing device state. It exists for instrumentation
+	// and validation outside the emulated timeline; emulated
+	// computation must use Read.
+	Peek(id BlockID) []byte
+	// Free releases the block's storage. Freeing an already-free or
+	// unknown block panics: it indicates a container bookkeeping bug.
+	Free(id BlockID)
+	// EndReadRun hints that a sequential read run has ended, so the
+	// next Read should not assume read-ahead overlap.
+	EndReadRun()
+	// Flush blocks p until buffered writes have retired.
+	Flush(p *sim.Proc)
+	// Bytes reports the total size of live blocks.
+	Bytes() int64
+	// Blocks reports the number of live blocks.
+	Blocks() int
+}
+
+// store is the shared block bookkeeping for all engines.
+type store struct {
+	blocks []([]byte)
+	free   []BlockID
+	bytes  int64
+	live   int
+}
+
+func (st *store) append(data []byte) BlockID {
+	if data == nil {
+		data = []byte{} // nil marks freed slots; keep empty blocks distinct
+	}
+	var id BlockID
+	if n := len(st.free); n > 0 {
+		id = st.free[n-1]
+		st.free = st.free[:n-1]
+		st.blocks[id] = data
+	} else {
+		id = BlockID(len(st.blocks))
+		st.blocks = append(st.blocks, data)
+	}
+	st.bytes += int64(len(data))
+	st.live++
+	return id
+}
+
+func (st *store) read(id BlockID) []byte {
+	b := st.get(id)
+	return b
+}
+
+func (st *store) get(id BlockID) []byte {
+	if int(id) >= len(st.blocks) || st.blocks[id] == nil {
+		panic(fmt.Sprintf("bte: access to dead block %d", id))
+	}
+	return st.blocks[id]
+}
+
+func (st *store) freeBlock(id BlockID) {
+	b := st.get(id)
+	st.bytes -= int64(len(b))
+	st.live--
+	st.blocks[id] = nil
+	st.free = append(st.free, id)
+}
+
+// Memory is an Engine with no transfer costs: an in-memory block store.
+// It models host-memory buffers and is the engine of choice for unit tests
+// of pure algorithms.
+type Memory struct {
+	store
+}
+
+// NewMemory creates an empty in-memory engine.
+func NewMemory() *Memory { return &Memory{} }
+
+func (m *Memory) Append(p *sim.Proc, data []byte) BlockID { return m.store.append(data) }
+func (m *Memory) Read(p *sim.Proc, id BlockID) []byte     { return m.store.read(id) }
+func (m *Memory) Peek(id BlockID) []byte                  { return m.store.read(id) }
+func (m *Memory) Free(id BlockID)                         { m.store.freeBlock(id) }
+func (m *Memory) EndReadRun()                             {}
+func (m *Memory) Flush(p *sim.Proc)                       {}
+func (m *Memory) Bytes() int64                            { return m.store.bytes }
+func (m *Memory) Blocks() int                             { return m.store.live }
+
+// DiskEngine stores blocks "on" an emulated disk: contents live in emulation
+// host memory, but every Append and Read charges the corresponding
+// sequential transfer on the underlying device.
+type DiskEngine struct {
+	store
+	d *disk.Disk
+}
+
+// NewDisk creates an engine backed by d.
+func NewDisk(d *disk.Disk) *DiskEngine { return &DiskEngine{d: d} }
+
+// Disk returns the underlying device.
+func (e *DiskEngine) Disk() *disk.Disk { return e.d }
+
+func (e *DiskEngine) Append(p *sim.Proc, data []byte) BlockID {
+	e.d.Write(p, len(data))
+	return e.store.append(data)
+}
+
+func (e *DiskEngine) Read(p *sim.Proc, id BlockID) []byte {
+	b := e.store.read(id)
+	e.d.Read(p, len(b))
+	return b
+}
+
+func (e *DiskEngine) Peek(id BlockID) []byte { return e.store.read(id) }
+
+func (e *DiskEngine) Free(id BlockID)   { e.store.freeBlock(id) }
+func (e *DiskEngine) EndReadRun()       { e.d.EndReadRun() }
+func (e *DiskEngine) Flush(p *sim.Proc) { e.d.Flush(p) }
+func (e *DiskEngine) Bytes() int64      { return e.store.bytes }
+func (e *DiskEngine) Blocks() int       { return e.store.live }
+
+// Hooked decorates an engine with a transfer callback, letting callers add
+// costs the device itself cannot know about — typically the network hops a
+// remote accessor pays to reach it (e.g. a host using an ASU's disk for
+// spilled priority-queue runs).
+type Hooked struct {
+	Engine
+	// OnXfer runs for every Append and Read with the block size.
+	OnXfer func(p *sim.Proc, bytes int)
+}
+
+func (h *Hooked) Append(p *sim.Proc, data []byte) BlockID {
+	if h.OnXfer != nil {
+		h.OnXfer(p, len(data))
+	}
+	return h.Engine.Append(p, data)
+}
+
+func (h *Hooked) Read(p *sim.Proc, id BlockID) []byte {
+	b := h.Engine.Read(p, id)
+	if h.OnXfer != nil {
+		h.OnXfer(p, len(b))
+	}
+	return b
+}
+
+var (
+	_ Engine = (*Memory)(nil)
+	_ Engine = (*DiskEngine)(nil)
+	_ Engine = (*Hooked)(nil)
+)

@@ -1,0 +1,229 @@
+package bte
+
+import (
+	"testing"
+
+	"lmas/internal/disk"
+	"lmas/internal/sim"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	var got []byte
+	s.Spawn("p", func(p *sim.Proc) {
+		id := m.Append(p, []byte("hello"))
+		got = m.Read(p, id)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	if m.Blocks() != 1 || m.Bytes() != 5 {
+		t.Fatalf("blocks=%d bytes=%d", m.Blocks(), m.Bytes())
+	}
+}
+
+func TestMemoryIsFree(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	var elapsed sim.Time
+	s.Spawn("p", func(p *sim.Proc) {
+		id := m.Append(p, make([]byte, 1<<20))
+		m.Read(p, id)
+		elapsed = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("memory engine charged %v", elapsed)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	s.Spawn("p", func(p *sim.Proc) {
+		a := m.Append(p, []byte("aa"))
+		b := m.Append(p, []byte("bbb"))
+		m.Free(a)
+		if m.Blocks() != 1 || m.Bytes() != 3 {
+			t.Errorf("after free: blocks=%d bytes=%d", m.Blocks(), m.Bytes())
+		}
+		c := m.Append(p, []byte("c"))
+		if c != a {
+			t.Errorf("freed slot not reused: got %d, want %d", c, a)
+		}
+		if string(m.Read(p, b)) != "bbb" || string(m.Read(p, c)) != "c" {
+			t.Error("contents wrong after reuse")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFreedPanics(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	s.Spawn("p", func(p *sim.Proc) {
+		id := m.Append(p, []byte("x"))
+		m.Free(id)
+		defer func() {
+			if recover() == nil {
+				t.Error("read of freed block did not panic")
+			}
+		}()
+		m.Read(p, id)
+	})
+	s.Run()
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	s.Spawn("p", func(p *sim.Proc) {
+		id := m.Append(p, []byte("x"))
+		m.Free(id)
+		defer func() {
+			if recover() == nil {
+				t.Error("double free did not panic")
+			}
+		}()
+		m.Free(id)
+	})
+	s.Run()
+}
+
+func TestEmptyBlock(t *testing.T) {
+	s := sim.New()
+	m := NewMemory()
+	s.Spawn("p", func(p *sim.Proc) {
+		id := m.Append(p, nil)
+		if got := m.Read(p, id); got == nil || len(got) != 0 {
+			t.Errorf("empty block read = %v", got)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskEngineChargesTransfers(t *testing.T) {
+	s := sim.New()
+	d := disk.New(s, "d", 100e6) // 100 MB/s
+	e := NewDisk(d)
+	var afterWrite, afterFlush, afterRead sim.Time
+	s.Spawn("p", func(p *sim.Proc) {
+		id := e.Append(p, make([]byte, 1_000_000)) // write-behind: ~instant
+		afterWrite = p.Now()
+		e.Flush(p) // 10 ms
+		afterFlush = p.Now()
+		e.Read(p, id) // cold read 10 ms
+		afterRead = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterWrite != 0 {
+		t.Fatalf("append blocked until %v", afterWrite)
+	}
+	if afterFlush != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("flush at %v, want 10ms", afterFlush)
+	}
+	if afterRead != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("read done at %v, want 20ms", afterRead)
+	}
+}
+
+func TestPeekIsFree(t *testing.T) {
+	s := sim.New()
+	d := disk.New(s, "d", 100e6)
+	e := NewDisk(d)
+	var elapsed sim.Time
+	s.Spawn("p", func(p *sim.Proc) {
+		id := e.Append(p, make([]byte, 1_000_000))
+		e.Flush(p)
+		start := p.Now()
+		if got := e.Peek(id); len(got) != 1_000_000 {
+			t.Errorf("peek returned %d bytes", len(got))
+		}
+		elapsed = p.Now() - start
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("Peek charged %v of virtual time", elapsed)
+	}
+	// Peek must not have perturbed the device: a cold read still costs
+	// a full transfer + nothing extra.
+	if d.Busy() != 10*sim.Millisecond {
+		t.Fatalf("disk busy %v after peek, want 10ms (write only)", d.Busy())
+	}
+}
+
+func TestHookedChargesTransfers(t *testing.T) {
+	s := sim.New()
+	var hooked []int
+	h := &Hooked{
+		Engine: NewMemory(),
+		OnXfer: func(p *sim.Proc, bytes int) { hooked = append(hooked, bytes) },
+	}
+	s.Spawn("p", func(p *sim.Proc) {
+		id := h.Append(p, []byte("abcde"))
+		h.Read(p, id)
+		h.Peek(id) // peek must NOT trigger the hook
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 2 || hooked[0] != 5 || hooked[1] != 5 {
+		t.Fatalf("hook calls %v, want [5 5]", hooked)
+	}
+}
+
+func TestHookedNilCallback(t *testing.T) {
+	s := sim.New()
+	h := &Hooked{Engine: NewMemory()}
+	s.Spawn("p", func(p *sim.Proc) {
+		id := h.Append(p, []byte("x"))
+		if string(h.Read(p, id)) != "x" {
+			t.Error("roundtrip failed")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskEngineEndReadRun(t *testing.T) {
+	s := sim.New()
+	d := disk.New(s, "d", 100e6)
+	e := NewDisk(d)
+	if e.Disk() != d {
+		t.Fatal("Disk() accessor broken")
+	}
+	var t1, t2 sim.Time
+	s.Spawn("p", func(p *sim.Proc) {
+		a := e.Append(p, make([]byte, 1_000_000))
+		e.Flush(p)
+		start := p.Now()
+		e.Read(p, a)
+		t1 = p.Now() - start
+		e.EndReadRun()
+		p.Sleep(50 * sim.Millisecond)
+		start = p.Now()
+		e.Read(p, a)
+		t2 = p.Now() - start
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != sim.Time(10*sim.Millisecond) || t2 != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("cold reads took %v / %v, want 10ms each", t1, t2)
+	}
+}

@@ -1,0 +1,310 @@
+// Package cluster assembles the emulated active-storage system of the
+// paper's Figure 2: D Active Storage Units (each a processor plus disk) and
+// H hosts (each a processor plus large memory), connected by a SAN.
+//
+// The defining parameter is c, the ratio of host to ASU processing power
+// (the paper evaluates c = 4 and c = 8). Computation is charged in abstract
+// "ops"; a node converts ops to virtual time through its ops/second rating.
+// This replaces the paper's native-execution-plus-cycle-counter measurement
+// with a calibrated analytic cost model (see DESIGN.md, "Substitutions"),
+// keeping runs deterministic and platform-independent while preserving the
+// load-balance behaviour under study.
+package cluster
+
+import (
+	"fmt"
+
+	"lmas/internal/disk"
+	"lmas/internal/metrics"
+	"lmas/internal/netsim"
+	"lmas/internal/sim"
+)
+
+// NodeKind distinguishes hosts from ASUs.
+type NodeKind int
+
+const (
+	// Host is a dedicated compute node with a large memory.
+	Host NodeKind = iota
+	// ASU is an active storage unit: disk plus (possibly weak) processor.
+	ASU
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "asu"
+}
+
+// CostModel assigns op counts to the primitive actions of streaming
+// computation. One "op" is roughly one key comparison; the paper's work
+// equation for DSM-Sort counts log2(parameter) compares per record per
+// stage, and per-record handling covers buffer management and record
+// movement around each comparison stage.
+type CostModel struct {
+	// CompareOps is the cost of one key comparison.
+	CompareOps float64
+	// HostTouchOps is the per-record handling cost each time a host
+	// stage receives, moves, or emits a record (buffering, copying).
+	HostTouchOps float64
+	// ASUTouchOps is the per-record handling cost at an ASU stage
+	// (reading from or appending to local storage, packet assembly).
+	ASUTouchOps float64
+	// ByteOps is the per-byte cost of record movement through a stage
+	// (often the leading drain on host CPU, per Section 1). Applied in
+	// addition to the Touch costs.
+	ByteOps float64
+	// PacketOps is the fixed per-packet handling cost at a stage
+	// (message dispatch, buffer management); it is what makes very
+	// small packets expensive (TAB-PACKET).
+	PacketOps float64
+}
+
+// DefaultCosts is the calibrated cost model used by the experiments.
+var DefaultCosts = CostModel{
+	CompareOps:   1,
+	HostTouchOps: 4,
+	ASUTouchOps:  5,
+	ByteOps:      0.04, // 128-byte record ~ 5 extra ops per touch
+	PacketOps:    10,
+}
+
+// Touch reports the per-record handling cost on a node of kind k for
+// records of the given size.
+func (c CostModel) Touch(k NodeKind, recordSize int) float64 {
+	base := c.HostTouchOps
+	if k == ASU {
+		base = c.ASUTouchOps
+	}
+	return base + c.ByteOps*float64(recordSize)
+}
+
+// Params configures an emulated system.
+type Params struct {
+	Hosts int // H: number of hosts
+	ASUs  int // D: number of ASUs
+
+	// C is the host/ASU processing power ratio (paper: 4 or 8).
+	C float64
+	// HostOpsPerSec rates host processors; ASU rating is this divided
+	// by C.
+	HostOpsPerSec float64
+
+	// DiskRate is each ASU's aggregate sequential transfer rate, bytes/s.
+	DiskRate float64
+	// DiskSeek is the positioning time charged on cold (non-sequential)
+	// reads; sequential streaming amortizes it away, random index
+	// lookups pay it per access.
+	DiskSeek sim.Duration
+	// NetBandwidth is each interface's bandwidth in bytes/s. Per the
+	// paper's assumption, the default is high enough that processors
+	// saturate before links.
+	NetBandwidth float64
+	// NetLatency is the per-message propagation latency.
+	NetLatency sim.Duration
+
+	// HostMemRecords / ASUMemRecords bound buffer space in records: the
+	// available memory limits the sort run length β on hosts, and ASU
+	// buffer space restricts the distribute order α and merge order γ
+	// (Section 4.3).
+	HostMemRecords int
+	ASUMemRecords  int
+
+	RecordSize int
+	Costs      CostModel
+
+	// UtilWindow, when positive, attaches a utilization trace of this
+	// window width to every node CPU (used for Figure 10).
+	UtilWindow sim.Duration
+
+	// IsolationQuantum, when positive, enables performance isolation
+	// (the paper's stated future work): functor computation holds a CPU
+	// for at most one quantum at a time, and foreground storage
+	// requests (Node.ServeRequest) are admitted at high priority, so
+	// offloaded computation cannot starve storage access for other
+	// applications. Zero disables isolation: functor work holds the CPU
+	// for its full duration.
+	IsolationQuantum sim.Duration
+}
+
+// DefaultParams returns the baseline configuration used throughout the
+// experiments: one host, eight ASUs at c=8, 128-byte records.
+func DefaultParams() Params {
+	return Params{
+		Hosts:          1,
+		ASUs:           8,
+		C:              8,
+		HostOpsPerSec:  40e6,
+		DiskRate:       90e6,
+		DiskSeek:       5 * sim.Millisecond,
+		NetBandwidth:   1000e6,
+		NetLatency:     20 * sim.Microsecond,
+		HostMemRecords: 1 << 20,
+		ASUMemRecords:  1 << 15,
+		RecordSize:     128,
+		Costs:          DefaultCosts,
+	}
+}
+
+// Validate reports whether the parameters describe a buildable system.
+func (p Params) Validate() error {
+	switch {
+	case p.Hosts < 1:
+		return fmt.Errorf("cluster: need at least one host, have %d", p.Hosts)
+	case p.ASUs < 1:
+		return fmt.Errorf("cluster: need at least one ASU, have %d", p.ASUs)
+	case p.C <= 0:
+		return fmt.Errorf("cluster: power ratio c must be positive, have %g", p.C)
+	case p.HostOpsPerSec <= 0:
+		return fmt.Errorf("cluster: host ops/sec must be positive")
+	case p.DiskRate <= 0:
+		return fmt.Errorf("cluster: disk rate must be positive")
+	case p.NetBandwidth <= 0:
+		return fmt.Errorf("cluster: network bandwidth must be positive")
+	case p.RecordSize < 8:
+		return fmt.Errorf("cluster: record size %d too small", p.RecordSize)
+	case p.HostMemRecords < 1 || p.ASUMemRecords < 1:
+		return fmt.Errorf("cluster: memory bounds must be positive")
+	}
+	return nil
+}
+
+// Node is one emulated machine.
+type Node struct {
+	Name  string
+	Kind  NodeKind
+	Index int
+
+	CPU       *sim.Resource
+	OpsPerSec float64
+	Disk      *disk.Disk    // nil on hosts
+	NIC       *netsim.Iface // connected to the SAN
+	MemRecs   int           // buffer capacity in records
+	// Quantum bounds a single CPU hold by functor computation
+	// (performance isolation); zero means unbounded holds.
+	Quantum sim.Duration
+
+	CPUTrace *metrics.UtilTrace // non-nil when Params.UtilWindow > 0
+}
+
+// Compute spends ops of computation on this node's CPU, blocking p for the
+// scaled time (plus any queueing behind other work on the same CPU). With
+// isolation enabled, the hold is split into quanta so high-priority storage
+// requests wait at most one quantum.
+func (n *Node) Compute(p *sim.Proc, ops float64) {
+	if ops <= 0 {
+		return
+	}
+	d := sim.Duration(ops / n.OpsPerSec * float64(sim.Second))
+	if n.Quantum <= 0 {
+		n.CPU.Use(p, d)
+		return
+	}
+	for d > 0 {
+		q := n.Quantum
+		if q > d {
+			q = d
+		}
+		n.CPU.Use(p, q)
+		d -= q
+	}
+}
+
+// ServeRequest spends ops of computation at high priority: the processing
+// an ASU performs on behalf of a foreground storage request. It jumps ahead
+// of queued functor work and, with isolation enabled, waits at most one
+// quantum behind in-progress functor work.
+func (n *Node) ServeRequest(p *sim.Proc, ops float64) {
+	if ops <= 0 {
+		return
+	}
+	d := sim.Duration(ops / n.OpsPerSec * float64(sim.Second))
+	n.CPU.UseHigh(p, d)
+}
+
+// ComputeDuration reports how long ops of work takes on this node when the
+// CPU is otherwise idle.
+func (n *Node) ComputeDuration(ops float64) sim.Duration {
+	return sim.Duration(ops / n.OpsPerSec * float64(sim.Second))
+}
+
+func (n *Node) String() string { return n.Name }
+
+// Cluster is a built emulated system.
+type Cluster struct {
+	Params Params
+	Sim    *sim.Sim
+	Net    *netsim.Net
+	Hosts  []*Node
+	ASUs   []*Node
+}
+
+// New builds a cluster on a fresh simulator. It panics if p is invalid; use
+// Params.Validate to check first.
+func New(p Params) *Cluster {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	s := sim.New()
+	c := &Cluster{Params: p, Sim: s, Net: netsim.New(s, p.NetLatency)}
+	for i := 0; i < p.Hosts; i++ {
+		name := fmt.Sprintf("host%d", i)
+		n := &Node{
+			Name:      name,
+			Kind:      Host,
+			Index:     i,
+			CPU:       sim.NewResource(s, name+".cpu"),
+			OpsPerSec: p.HostOpsPerSec,
+			NIC:       netsim.NewIface(s, name+".nic", p.NetBandwidth),
+			MemRecs:   p.HostMemRecords,
+			Quantum:   p.IsolationQuantum,
+		}
+		c.attachTrace(n)
+		c.Hosts = append(c.Hosts, n)
+	}
+	for i := 0; i < p.ASUs; i++ {
+		name := fmt.Sprintf("asu%d", i)
+		n := &Node{
+			Name:      name,
+			Kind:      ASU,
+			Index:     i,
+			CPU:       sim.NewResource(s, name+".cpu"),
+			OpsPerSec: p.HostOpsPerSec / p.C,
+			Disk:      newDisk(s, name+".disk", p),
+			NIC:       netsim.NewIface(s, name+".nic", p.NetBandwidth),
+			MemRecs:   p.ASUMemRecords,
+			Quantum:   p.IsolationQuantum,
+		}
+		c.attachTrace(n)
+		c.ASUs = append(c.ASUs, n)
+	}
+	return c
+}
+
+func newDisk(s *sim.Sim, name string, p Params) *disk.Disk {
+	d := disk.New(s, name, p.DiskRate)
+	d.SetSeek(p.DiskSeek)
+	return d
+}
+
+func (c *Cluster) attachTrace(n *Node) {
+	if c.Params.UtilWindow <= 0 {
+		return
+	}
+	n.CPUTrace = metrics.NewUtilTrace(n.Name+".cpu", c.Params.UtilWindow)
+	n.CPU.SetRecorder(n.CPUTrace)
+}
+
+// Nodes returns all nodes, hosts first.
+func (c *Cluster) Nodes() []*Node {
+	all := make([]*Node, 0, len(c.Hosts)+len(c.ASUs))
+	all = append(all, c.Hosts...)
+	return append(all, c.ASUs...)
+}
+
+// Touch reports the per-record handling cost on node n under this cluster's
+// cost model and record size.
+func (c *Cluster) Touch(n *Node) float64 {
+	return c.Params.Costs.Touch(n.Kind, c.Params.RecordSize)
+}

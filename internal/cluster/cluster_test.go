@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+func TestNewBuildsRequestedShape(t *testing.T) {
+	p := DefaultParams()
+	p.Hosts, p.ASUs = 2, 16
+	c := New(p)
+	if len(c.Hosts) != 2 || len(c.ASUs) != 16 {
+		t.Fatalf("built %d hosts, %d ASUs", len(c.Hosts), len(c.ASUs))
+	}
+	if len(c.Nodes()) != 18 {
+		t.Fatalf("Nodes() = %d", len(c.Nodes()))
+	}
+	for _, h := range c.Hosts {
+		if h.Kind != Host || h.Disk != nil || h.NIC == nil {
+			t.Fatalf("bad host %v", h)
+		}
+	}
+	for _, a := range c.ASUs {
+		if a.Kind != ASU || a.Disk == nil || a.NIC == nil {
+			t.Fatalf("bad ASU %v", a)
+		}
+	}
+}
+
+func TestPowerRatio(t *testing.T) {
+	p := DefaultParams()
+	p.C = 8
+	c := New(p)
+	got := c.Hosts[0].OpsPerSec / c.ASUs[0].OpsPerSec
+	if math.Abs(got-8) > 1e-9 {
+		t.Fatalf("host/ASU ops ratio = %v, want 8", got)
+	}
+}
+
+func TestComputeScalesWithNodeSpeed(t *testing.T) {
+	p := DefaultParams()
+	p.C = 4
+	c := New(p)
+	var hostT, asuT sim.Time
+	c.Sim.Spawn("h", func(pr *sim.Proc) {
+		c.Hosts[0].Compute(pr, 1e6)
+		hostT = pr.Now()
+	})
+	c.Sim.Spawn("a", func(pr *sim.Proc) {
+		c.ASUs[0].Compute(pr, 1e6)
+		asuT = pr.Now()
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(asuT) / float64(hostT)
+	if math.Abs(ratio-4) > 1e-6 {
+		t.Fatalf("same work took %vx longer on ASU, want 4x", ratio)
+	}
+}
+
+func TestComputeSerializesOnOneCPU(t *testing.T) {
+	p := DefaultParams()
+	c := New(p)
+	n := c.Hosts[0]
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		c.Sim.Spawn("w", func(pr *sim.Proc) {
+			n.Compute(pr, p.HostOpsPerSec) // exactly 1 second of work
+			done[i] = pr.Now()
+		})
+	}
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != sim.Time(sim.Second) || done[1] != sim.Time(2*sim.Second) {
+		t.Fatalf("done = %v; CPU must serialize", done)
+	}
+}
+
+func TestZeroOpsFree(t *testing.T) {
+	c := New(DefaultParams())
+	var total sim.Time
+	c.Sim.Spawn("z", func(pr *sim.Proc) {
+		c.Hosts[0].Compute(pr, 0)
+		c.Hosts[0].Compute(pr, -5)
+		total = pr.Now()
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("zero ops took %v", total)
+	}
+}
+
+func TestUtilTraceAttached(t *testing.T) {
+	p := DefaultParams()
+	p.UtilWindow = 100 * sim.Millisecond
+	c := New(p)
+	c.Sim.Spawn("w", func(pr *sim.Proc) {
+		c.Hosts[0].Compute(pr, p.HostOpsPerSec/10) // 100 ms of work
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := c.Hosts[0].CPUTrace
+	if tr == nil {
+		t.Fatal("no CPU trace attached")
+	}
+	if got := tr.At(0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("window 0 utilization = %v, want 1.0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Hosts = 0 },
+		func(p *Params) { p.ASUs = 0 },
+		func(p *Params) { p.C = 0 },
+		func(p *Params) { p.HostOpsPerSec = 0 },
+		func(p *Params) { p.DiskRate = -1 },
+		func(p *Params) { p.NetBandwidth = 0 },
+		func(p *Params) { p.RecordSize = 4 },
+		func(p *Params) { p.HostMemRecords = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: bad params validated", i)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestTouchCosts(t *testing.T) {
+	cm := CostModel{CompareOps: 1, HostTouchOps: 4, ASUTouchOps: 5, ByteOps: 0.05}
+	if got := cm.Touch(Host, 100); got != 9 {
+		t.Fatalf("host touch = %v, want 9", got)
+	}
+	if got := cm.Touch(ASU, 100); got != 10 {
+		t.Fatalf("asu touch = %v, want 10", got)
+	}
+}
+
+func TestNodeNamesDistinct(t *testing.T) {
+	p := DefaultParams()
+	p.Hosts, p.ASUs = 3, 5
+	c := New(p)
+	seen := map[string]bool{}
+	for _, n := range c.Nodes() {
+		if seen[n.Name] {
+			t.Fatalf("duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Kind == Host && !strings.HasPrefix(n.Name, "host") {
+			t.Fatalf("host named %q", n.Name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Host.String() != "host" || ASU.String() != "asu" {
+		t.Fatal("NodeKind strings wrong")
+	}
+}
+
+func TestIsolationQuantumChunksCompute(t *testing.T) {
+	p := DefaultParams()
+	p.IsolationQuantum = 100 * sim.Microsecond
+	c := New(p)
+	asu := c.ASUs[0]
+	// Functor work runs 10 ms; a request arriving mid-way must be
+	// served within ~a quantum, not after the whole computation.
+	var reqLatency sim.Duration
+	c.Sim.Spawn("functor", func(pr *sim.Proc) {
+		asu.Compute(pr, asu.OpsPerSec/100) // 10 ms of work
+	})
+	c.Sim.Spawn("request", func(pr *sim.Proc) {
+		pr.Sleep(sim.Millisecond)
+		start := pr.Now()
+		asu.ServeRequest(pr, asu.OpsPerSec/10000) // 0.1 ms of work
+		reqLatency = sim.Duration(pr.Now() - start)
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reqLatency > 400*sim.Microsecond {
+		t.Fatalf("request latency %v with 100us quantum; isolation failed", reqLatency)
+	}
+}
+
+func TestNoQuantumMeansMonolithicHolds(t *testing.T) {
+	c := New(DefaultParams()) // IsolationQuantum zero
+	asu := c.ASUs[0]
+	var reqLatency sim.Duration
+	c.Sim.Spawn("functor", func(pr *sim.Proc) {
+		asu.Compute(pr, asu.OpsPerSec/100) // 10 ms hold
+	})
+	c.Sim.Spawn("request", func(pr *sim.Proc) {
+		pr.Sleep(sim.Millisecond)
+		start := pr.Now()
+		asu.ServeRequest(pr, asu.OpsPerSec/10000)
+		reqLatency = sim.Duration(pr.Now() - start)
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reqLatency < 8*sim.Millisecond {
+		t.Fatalf("request latency %v; without isolation it must wait out the hold", reqLatency)
+	}
+}
+
+func TestServeRequestJumpsQueuedFunctorWork(t *testing.T) {
+	p := DefaultParams()
+	c := New(p)
+	asu := c.ASUs[0]
+	var order []string
+	// Two functor computations queued; the request must run after the
+	// first (holding) one, before the second.
+	for i := 0; i < 2; i++ {
+		i := i
+		c.Sim.Spawn("functor", func(pr *sim.Proc) {
+			asu.Compute(pr, asu.OpsPerSec/1000)
+			order = append(order, "functor")
+			_ = i
+		})
+	}
+	c.Sim.Spawn("request", func(pr *sim.Proc) {
+		pr.Sleep(100 * sim.Microsecond)
+		asu.ServeRequest(pr, asu.OpsPerSec/100000)
+		order = append(order, "request")
+	})
+	if err := c.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[1] != "request" {
+		t.Fatalf("order %v; request must precede queued functor work", order)
+	}
+}

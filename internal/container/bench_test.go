@@ -1,0 +1,79 @@
+package container
+
+import (
+	"testing"
+
+	"lmas/internal/bte"
+	"lmas/internal/disk"
+	"lmas/internal/records"
+	"lmas/internal/sim"
+)
+
+func benchFill(b *testing.B, eng bte.Engine) *Stream {
+	b.Helper()
+	s := sim.New()
+	st := NewStream("bench", eng, recSize)
+	s.Spawn("fill", func(p *sim.Proc) {
+		for i := 0; i < 256; i++ {
+			st.Append(p, NewPacket(records.Generate(64, recSize, int64(i), records.Uniform{})))
+		}
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func BenchmarkStreamScanMemory(b *testing.B) {
+	st := benchFill(b, bte.NewMemory())
+	s := sim.New()
+	b.ResetTimer()
+	count := 0
+	s.Spawn("scan", func(p *sim.Proc) {
+		for i := 0; i < b.N; i += 256 {
+			sc := st.Scan()
+			for {
+				if _, ok := sc.Next(p); !ok {
+					break
+				}
+				count++
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkStreamScanDisk(b *testing.B) {
+	s := sim.New()
+	d := disk.New(s, "bench", 100e6)
+	st := NewStream("bench", bte.NewDisk(d), recSize)
+	s.Spawn("run", func(p *sim.Proc) {
+		for i := 0; i < 256; i++ {
+			st.Append(p, NewPacket(records.Generate(64, recSize, int64(i), records.Uniform{})))
+		}
+		for i := 0; i < b.N; i += 256 {
+			sc := st.Scan()
+			for {
+				if _, ok := sc.Next(p); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	st := benchFill(b, bte.NewMemory())
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i += 256 {
+		st.ForEach(func(pk Packet) bool { n += pk.Len(); return true })
+	}
+	_ = n
+}

@@ -1,0 +1,184 @@
+// Package disk models the storage device attached to each ASU.
+//
+// Following the paper's emulator (Section 5): "The disk simulation does not
+// model detailed seek and rotational times because our current experiments
+// perform all I/O sequentially. The disk simulation uses a base aggregate
+// transfer rate to calculate elapsed time under an I/O load, assuming
+// read-ahead and write caching for sequential I/O: the disk initiates the
+// next I/O automatically, and writes wait only for the previous write to
+// complete."
+//
+// Concretely:
+//
+//   - The device is a single timeline (busyUntil) shared by all transfers,
+//     so concurrent streams on one disk divide its bandwidth.
+//   - Sequential reads are prefetched: the transfer of block k+1 starts when
+//     block k is delivered, so a consumer that processes a block slower than
+//     the disk transfers one never waits (after the first block).
+//   - Writes are buffered: Write returns as soon as the device has accepted
+//     the block, blocking only while the previous write is still in flight.
+//     Flush waits for all buffered writes to retire.
+package disk
+
+import (
+	"fmt"
+
+	"lmas/internal/sim"
+)
+
+// Disk is a sequential-transfer storage device in virtual time. All methods
+// that take a *sim.Proc may block that proc; they must be called from the
+// currently running proc.
+type Disk struct {
+	s    *sim.Sim
+	name string
+	rate float64 // bytes per second of virtual time
+	// seek is charged at the start of every cold read (the first read
+	// of a sequential run): arm positioning. Sequential experiments are
+	// barely affected; random-access structures (Arrays, index lookups)
+	// pay it on every access, which is what makes request fan-out
+	// expensive on real disks.
+	seek sim.Duration
+
+	busyUntil sim.Time // device timeline: end of last booked transfer
+
+	// Read-ahead state. A "read run" is a sequence of sequential reads;
+	// within a run, the transfer of the next block begins at delivery of
+	// the previous one.
+	readRun      bool
+	lastDelivery sim.Time
+
+	// Write-behind state: completion time of the most recent write.
+	writeDone sim.Time
+
+	busy     sim.Duration // accumulated transfer time
+	recorder sim.BusyRecorder
+
+	// Counters.
+	readBytes, writeBytes int64
+	reads, writes         int64
+}
+
+// New creates a disk transferring rate bytes per second of virtual time.
+func New(s *sim.Sim, name string, rate float64) *Disk {
+	if rate <= 0 {
+		panic("disk: rate must be positive")
+	}
+	return &Disk{s: s, name: name, rate: rate}
+}
+
+// Name reports the disk's name.
+func (d *Disk) Name() string { return d.name }
+
+// Rate reports the transfer rate in bytes per second.
+func (d *Disk) Rate() float64 { return d.rate }
+
+// SetRecorder attaches rec to receive transfer busy intervals; nil detaches.
+func (d *Disk) SetRecorder(rec sim.BusyRecorder) { d.recorder = rec }
+
+// SetSeek sets the positioning time charged on cold reads (default zero).
+func (d *Disk) SetSeek(seek sim.Duration) {
+	if seek < 0 {
+		seek = 0
+	}
+	d.seek = seek
+}
+
+// Seek reports the configured positioning time.
+func (d *Disk) Seek() sim.Duration { return d.seek }
+
+// xferDur converts a byte count to transfer time.
+func (d *Disk) xferDur(n int) sim.Duration {
+	return sim.Duration(float64(n) / d.rate * float64(sim.Second))
+}
+
+// book reserves the device for a transfer of n bytes starting no earlier
+// than from, returning the transfer interval.
+func (d *Disk) book(from sim.Time, n int) (start, end sim.Time) {
+	return d.bookWithSetup(from, n, 0)
+}
+
+// bookWithSetup additionally occupies the device for a setup time (arm
+// positioning) before the transfer.
+func (d *Disk) bookWithSetup(from sim.Time, n int, setup sim.Duration) (start, end sim.Time) {
+	start = from
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	end = start.Add(setup + d.xferDur(n))
+	d.busyUntil = end
+	d.busy += sim.Duration(end - start)
+	if d.recorder != nil && end > start {
+		d.recorder.RecordBusy(start, end)
+	}
+	return start, end
+}
+
+// Read performs a sequential read of n bytes, blocking p until the data is
+// available. Within a read run the device prefetches, so the effective wait
+// is max(0, transferTime - timeSinceLastRead).
+func (d *Disk) Read(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	now := d.s.Now()
+	from := now
+	extra := sim.Duration(0)
+	if d.readRun {
+		if d.lastDelivery < now {
+			// Prefetch began when the previous block was delivered.
+			from = d.lastDelivery
+		}
+	} else {
+		extra = d.seek // cold read: position the arm first
+	}
+	_, end := d.bookWithSetup(from, n, extra)
+	d.reads++
+	d.readBytes += int64(n)
+	if end > now {
+		p.Sleep(sim.Duration(end - now))
+	}
+	d.readRun = true
+	d.lastDelivery = d.s.Now()
+}
+
+// EndReadRun marks the end of a sequential read run: the next Read is
+// treated as cold (no prefetch overlap with past processing).
+func (d *Disk) EndReadRun() { d.readRun = false }
+
+// Write accepts n bytes for writing. It blocks p only while the previous
+// write is still in flight (write-behind with one outstanding write), then
+// books the transfer and returns; the data retires in the background.
+func (d *Disk) Write(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	now := d.s.Now()
+	if d.writeDone > now {
+		p.Sleep(sim.Duration(d.writeDone - now))
+	}
+	_, end := d.book(d.s.Now(), n)
+	d.writeDone = end
+	d.writes++
+	d.writeBytes += int64(n)
+}
+
+// Flush blocks p until all accepted writes have retired.
+func (d *Disk) Flush(p *sim.Proc) {
+	now := d.s.Now()
+	if d.writeDone > now {
+		p.Sleep(sim.Duration(d.writeDone - now))
+	}
+}
+
+// Busy reports the total time the device has spent transferring.
+func (d *Disk) Busy() sim.Duration { return d.busy }
+
+// Stats reports cumulative operation and byte counts.
+func (d *Disk) Stats() (reads, writes, readBytes, writeBytes int64) {
+	return d.reads, d.writes, d.readBytes, d.writeBytes
+}
+
+func (d *Disk) String() string {
+	return fmt.Sprintf("disk(%s, %.0f MB/s)", d.name, d.rate/1e6)
+}

@@ -1,0 +1,246 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lmas/internal/sim"
+)
+
+// rateMBs builds a disk with rate in MB (1e6 bytes) per second.
+func newDisk(s *sim.Sim, mbs float64) *Disk { return New(s, "d0", mbs*1e6) }
+
+func TestColdReadTakesTransferTime(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100) // 100 MB/s -> 1 MB takes 10 ms
+	var elapsed sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, 1_000_000)
+		elapsed = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("cold read of 1MB at 100MB/s took %v, want 10ms", elapsed)
+	}
+}
+
+func TestReadAheadOverlapsProcessing(t *testing.T) {
+	// Consumer processes each block for longer than the transfer time:
+	// after the first block, reads must be free (prefetched).
+	s := sim.New()
+	d := newDisk(s, 100)
+	const block = 1_000_000 // 10 ms transfer
+	var total sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.Read(p, block)
+			p.Sleep(20 * sim.Millisecond) // slower than disk
+		}
+		total = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10ms first transfer + 10 * 20ms processing; later transfers hide.
+	want := sim.Time(10*sim.Millisecond + 10*20*sim.Millisecond)
+	if total != want {
+		t.Fatalf("elapsed %v, want %v (read-ahead must hide transfers)", total, want)
+	}
+}
+
+func TestFastConsumerIsRateLimited(t *testing.T) {
+	// Consumer with no processing cost: throughput = disk rate.
+	s := sim.New()
+	d := newDisk(s, 100)
+	const block = 1_000_000
+	var total sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			d.Read(p, block)
+		}
+		total = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(100 * sim.Millisecond) // 10 blocks x 10 ms
+	if total != want {
+		t.Fatalf("elapsed %v, want %v", total, want)
+	}
+}
+
+func TestEndReadRunDisablesPrefetch(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100)
+	const block = 1_000_000
+	var total sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, block)
+		d.EndReadRun()
+		p.Sleep(50 * sim.Millisecond)
+		d.Read(p, block) // cold again: must cost full transfer
+		total = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(10*sim.Millisecond + 50*sim.Millisecond + 10*sim.Millisecond)
+	if total != want {
+		t.Fatalf("elapsed %v, want %v", total, want)
+	}
+}
+
+func TestWriteBehindReturnsImmediately(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100)
+	var afterFirst, afterSecond, afterFlush sim.Time
+	s.Spawn("w", func(p *sim.Proc) {
+		d.Write(p, 1_000_000) // accepted instantly
+		afterFirst = p.Now()
+		d.Write(p, 1_000_000) // waits for first write (10 ms)
+		afterSecond = p.Now()
+		d.Flush(p)
+		afterFlush = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterFirst != 0 {
+		t.Fatalf("first write blocked until %v; write-behind must accept instantly", afterFirst)
+	}
+	if afterSecond != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("second write returned at %v, want 10ms", afterSecond)
+	}
+	if afterFlush != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("flush returned at %v, want 20ms", afterFlush)
+	}
+}
+
+func TestWriteOverlapsComputation(t *testing.T) {
+	// Writes issued every 20 ms, each taking 10 ms: never blocks.
+	s := sim.New()
+	d := newDisk(s, 100)
+	var total sim.Time
+	s.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(20 * sim.Millisecond)
+			d.Write(p, 1_000_000)
+		}
+		d.Flush(p)
+		total = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(5*20*sim.Millisecond + 10*sim.Millisecond)
+	if total != want {
+		t.Fatalf("elapsed %v, want %v", total, want)
+	}
+}
+
+func TestConcurrentStreamsShareBandwidth(t *testing.T) {
+	// Two readers on one disk: aggregate rate bounded by the device.
+	s := sim.New()
+	d := newDisk(s, 100)
+	const block = 1_000_000
+	var t1, t2 sim.Time
+	s.Spawn("r1", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			d.Read(p, block)
+		}
+		t1 = p.Now()
+	})
+	s.Spawn("r2", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			d.Read(p, block)
+		}
+		t2 = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	last := t1
+	if t2 > last {
+		last = t2
+	}
+	want := sim.Time(100 * sim.Millisecond) // 10 blocks total at 10 ms each
+	if last < want {
+		t.Fatalf("10 blocks finished at %v; device limit is %v", last, want)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100)
+	s.Spawn("rw", func(p *sim.Proc) {
+		d.Read(p, 2_000_000)  // 20 ms
+		d.Write(p, 1_000_000) // 10 ms
+		d.Flush(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Busy() != 30*sim.Millisecond {
+		t.Fatalf("busy = %v, want 30ms", d.Busy())
+	}
+	r, w, rb, wb := d.Stats()
+	if r != 1 || w != 1 || rb != 2_000_000 || wb != 1_000_000 {
+		t.Fatalf("stats = %d %d %d %d", r, w, rb, wb)
+	}
+}
+
+func TestZeroByteOpsAreFree(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100)
+	var total sim.Time
+	s.Spawn("z", func(p *sim.Proc) {
+		d.Read(p, 0)
+		d.Write(p, 0)
+		d.Flush(p)
+		total = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("zero-byte ops took %v", total)
+	}
+}
+
+// TestThroughputProperty: for any block size and count, a tight read loop's
+// elapsed time equals bytes/rate (the aggregate transfer rate model).
+func TestThroughputProperty(t *testing.T) {
+	f := func(blocks, sizeKB uint8) bool {
+		nb := int(blocks%20) + 1
+		size := (int(sizeKB%100) + 1) * 1024
+		s := sim.New()
+		d := newDisk(s, 50)
+		var total sim.Time
+		s.Spawn("r", func(p *sim.Proc) {
+			for i := 0; i < nb; i++ {
+				d.Read(p, size)
+			}
+			total = p.Now()
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		want := float64(nb*size) / 50e6
+		return math.Abs(total.Seconds()-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(sim.New(), "bad", 0)
+}

@@ -1,0 +1,54 @@
+package dsmsort
+
+import (
+	"testing"
+
+	"lmas/internal/cluster"
+	"lmas/internal/records"
+)
+
+func benchSort(b *testing.B, placement Placement, asus int) {
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(testParams(1, asus))
+		in := MakeInput(cl, 1<<14, records.Uniform{}, 42, 64)
+		cfg := Config{Alpha: 16, Beta: 64, Gamma2: 16, PacketRecords: 64,
+			Placement: placement, Seed: 42}
+		if _, err := Sort(cl, cfg, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortActive(b *testing.B)       { benchSort(b, Active, 8) }
+func BenchmarkSortConventional(b *testing.B) { benchSort(b, Conventional, 8) }
+func BenchmarkSortHybrid(b *testing.B)       { benchSort(b, Hybrid, 8) }
+
+func BenchmarkRunFormationOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cl := cluster.New(testParams(1, 8))
+		in := MakeInput(cl, 1<<15, records.Uniform{}, 42, 64)
+		cfg := Config{Alpha: 16, Beta: 64, Gamma2: 2, PacketRecords: 64,
+			Placement: Active, Seed: 42}
+		if _, _, err := RunFormation(cl, cfg, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergePassOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl := cluster.New(testParams(1, 8))
+		in := MakeInput(cl, 1<<14, records.Uniform{}, 42, 64)
+		cfg := Config{Alpha: 8, Beta: 64, Gamma2: 16, PacketRecords: 64,
+			Placement: Active, Seed: 42}
+		rs, _, err := RunFormation(cl, cfg, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := MergePass(cl, cfg, rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package dsmsort
+
+import (
+	"fmt"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/records"
+	"lmas/internal/sim"
+)
+
+// Input is a data set striped across the ASUs, "with the input data
+// initially distributed across the ASUs" as in the Figure 9 experiment.
+type Input struct {
+	Sets     []*container.Set // one per ASU, on that ASU's disk
+	N        int
+	Checksum records.Checksum
+}
+
+// MakeInput generates n records from dist and stripes them packet-by-packet
+// across the cluster's ASUs. Loading happens outside measured time (the
+// simulator clock is advanced and the writes flushed before return).
+func MakeInput(cl *cluster.Cluster, n int, dist records.KeyDist, seed int64, packetRecords int) *Input {
+	buf := records.Generate(n, cl.Params.RecordSize, seed, dist)
+	return loadInput(cl, buf, packetRecords)
+}
+
+// MakeInputHalves generates the Figure 10 workload (first half from first,
+// second half from second) striped across ASUs so that, scanned in
+// parallel, the skewed half arrives in the second half of the run.
+func MakeInputHalves(cl *cluster.Cluster, n int, first, second records.KeyDist, seed int64, packetRecords int) *Input {
+	buf := records.GenerateHalves(n, cl.Params.RecordSize, seed, first, second)
+	return loadInput(cl, buf, packetRecords)
+}
+
+func loadInput(cl *cluster.Cluster, buf records.Buffer, packetRecords int) *Input {
+	if packetRecords < 1 {
+		panic("dsmsort: packetRecords must be >= 1")
+	}
+	n := buf.Len()
+	in := &Input{N: n}
+	in.Checksum.Add(buf)
+	d := len(cl.ASUs)
+	for _, asu := range cl.ASUs {
+		set := container.NewSet(fmt.Sprintf("input@%s", asu.Name), bte.NewDisk(asu.Disk), cl.Params.RecordSize)
+		in.Sets = append(in.Sets, set)
+	}
+	cl.Sim.Spawn("load-input", func(p *sim.Proc) {
+		// Stripe packets round-robin: ASU i holds packets i, i+d, ...
+		// Striping by packet keeps each ASU's share an unbiased sample
+		// of the whole input over time, so a temporal distribution
+		// shift (Figure 10) hits all ASUs simultaneously.
+		for pi, off := 0, 0; off < n; pi, off = pi+1, off+packetRecords {
+			hi := off + packetRecords
+			if hi > n {
+				hi = n
+			}
+			pk := container.NewPacket(buf.Slice(off, hi).Clone())
+			in.Sets[pi%d].Add(p, pk)
+		}
+		for _, set := range in.Sets {
+			set.Flush(p)
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		panic(fmt.Sprintf("dsmsort: input load failed: %v", err))
+	}
+	return in
+}

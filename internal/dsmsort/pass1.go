@@ -1,0 +1,317 @@
+package dsmsort
+
+import (
+	"fmt"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/functor"
+	"lmas/internal/records"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+)
+
+// RunStore holds the sorted runs produced by run formation, grouped by the
+// ASU they are stored on and the distribute subset they belong to.
+type RunStore struct {
+	RecordSize int
+	// Streams[asu][bucket] holds that subset's runs on that ASU (nil if
+	// none landed there).
+	Streams [][]*container.Stream
+	engines []*bte.DiskEngine
+}
+
+// NewRunStore allocates run storage for d ASUs and alpha subsets on the
+// given cluster.
+func NewRunStore(cl *cluster.Cluster, alpha int) *RunStore {
+	rs := &RunStore{RecordSize: cl.Params.RecordSize}
+	rs.Streams = make([][]*container.Stream, len(cl.ASUs))
+	for i := range rs.Streams {
+		rs.Streams[i] = make([]*container.Stream, alpha)
+		rs.engines = append(rs.engines, bte.NewDisk(cl.ASUs[i].Disk))
+	}
+	return rs
+}
+
+func (rs *RunStore) put(p *sim.Proc, asu int, pk container.Packet) {
+	if pk.Bucket < 0 || pk.Bucket >= len(rs.Streams[asu]) {
+		panic(fmt.Sprintf("dsmsort: run with bucket %d out of range", pk.Bucket))
+	}
+	st := rs.Streams[asu][pk.Bucket]
+	if st == nil {
+		st = container.NewStream(fmt.Sprintf("runs.asu%d.b%d", asu, pk.Bucket), rs.engines[asu], rs.RecordSize)
+		rs.Streams[asu][pk.Bucket] = st
+	}
+	st.Append(p, pk)
+}
+
+// Runs reports the total number of stored runs.
+func (rs *RunStore) Runs() int {
+	n := 0
+	for _, row := range rs.Streams {
+		for _, st := range row {
+			if st != nil {
+				n += st.Packets()
+			}
+		}
+	}
+	return n
+}
+
+// Records reports the total records stored.
+func (rs *RunStore) Records() int64 {
+	var n int64
+	for _, row := range rs.Streams {
+		for _, st := range row {
+			if st != nil {
+				n += st.Records()
+			}
+		}
+	}
+	return n
+}
+
+// Checksum digests every stored record (order-independent). Validation
+// reads the emulation host's memory directly and charges no virtual time.
+func (rs *RunStore) Checksum() records.Checksum {
+	var sum records.Checksum
+	for _, row := range rs.Streams {
+		for _, st := range row {
+			if st == nil {
+				continue
+			}
+			st.ForEach(func(pk container.Packet) bool {
+				sum.Add(pk.Buf)
+				return true
+			})
+		}
+	}
+	return sum
+}
+
+// sortedRunsOK verifies every stored run is sorted and in its key range,
+// outside virtual time.
+func (rs *RunStore) sortedRunsOK(alpha int) error {
+	sp := records.Splitters(alpha)
+	var err error
+	for asu, row := range rs.Streams {
+		for bucket, st := range row {
+			if st == nil {
+				continue
+			}
+			asu, bucket := asu, bucket
+			st.ForEach(func(pk container.Packet) bool {
+				if !pk.Buf.IsSorted() {
+					err = fmt.Errorf("run on asu%d bucket %d not sorted", asu, bucket)
+					return false
+				}
+				n := pk.Len()
+				for i := 0; i < n; i++ {
+					if records.BucketOf(pk.Buf.Key(i), sp) != bucket {
+						err = fmt.Errorf("record in wrong bucket on asu%d: bucket %d", asu, bucket)
+						return false
+					}
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return err
+}
+
+// Pass1Result reports run formation outcomes.
+type Pass1Result struct {
+	Elapsed sim.Duration
+	Runs    int
+	// HostOps / ASUOps are the total CPU ops charged per node class.
+	HostOps, ASUOps float64
+	// NetBytes is the interconnect traffic.
+	NetBytes int64
+	// HybridHostShare is the fraction of records whose distribute step
+	// ran on a host (meaningful only for the Hybrid placement, where it
+	// shows how much work migrated off the ASUs).
+	HybridHostShare float64
+	// Monitor holds progress samples when Config.ProgressInterval > 0.
+	Monitor *functor.Monitor
+}
+
+// RunFormation executes DSM-Sort's first pass (distribute + block sort +
+// collect) on cl, reading in and storing runs into the returned RunStore.
+// This is the phase timed in Figure 9 ("timings from the first pass of
+// sorting (run formation), omitting the final merge phases").
+func RunFormation(cl *cluster.Cluster, cfg Config, in *Input) (*RunStore, *Pass1Result, error) {
+	if err := cfg.Validate(cl.Params); err != nil {
+		return nil, nil, err
+	}
+	if len(in.Sets) != len(cl.ASUs) {
+		return nil, nil, fmt.Errorf("dsmsort: input striped over %d ASUs, cluster has %d", len(in.Sets), len(cl.ASUs))
+	}
+	recSize := cl.Params.RecordSize
+	rs := NewRunStore(cl, cfg.Alpha)
+	pl := functor.NewPipeline(cl)
+
+	sortPolicy := cfg.SortPolicy
+	if sortPolicy == nil {
+		sortPolicy = route.Static{Buckets: cfg.Alpha}
+	}
+
+	var sorterStage, distStage *functor.Stage
+	var edges []*functor.Edge
+
+	switch cfg.Placement {
+	case Active:
+		// ASU: distribute; host: block sort; ASU: collect runs.
+		dist := pl.AddStage("distribute", cl.ASUs, func() functor.Kernel {
+			return functor.Adapt(functor.NewDistribute(cfg.Alpha), recSize, cfg.PacketRecords)
+		})
+		sorterStage = pl.AddStage("blocksort", cl.Hosts, func() functor.Kernel {
+			return functor.NewBlockSort(cfg.Beta, recSize)
+		})
+		collect := pl.AddStage("collect", cl.ASUs, func() functor.Kernel {
+			return &functor.Sink{Label: "runs", Fn: func(ctx *functor.Ctx, pk container.Packet) {
+				rs.put(ctx.Proc, ctx.Node.Index, pk)
+			}}
+		})
+		edges = append(edges, dist.ConnectTo(sorterStage, sortPolicy))
+		edges = append(edges, sorterStage.ConnectTo(collect, &route.RoundRobin{}))
+		collect.Terminal()
+		for i, set := range in.Sets {
+			// Each ASU's reader feeds its own distribute instance.
+			pl.AddSource(fmt.Sprintf("read@asu%d", i), cl.ASUs[i], set.Scan(i, false), dist, pin(i))
+		}
+
+	case Hybrid:
+		// Distribute runs on ASUs AND hosts; each reader picks its
+		// local ASU instance or a host instance by backlog, migrating
+		// work toward spare capacity. Hosts also run the block sort,
+		// so host-side distribute naturally throttles when sorting
+		// saturates the host CPU.
+		nodes := append(append([]*cluster.Node{}, cl.ASUs...), cl.Hosts...)
+		dist := pl.AddStage("distribute", nodes, func() functor.Kernel {
+			return functor.Adapt(functor.NewDistribute(cfg.Alpha), recSize, cfg.PacketRecords)
+		})
+		// Deeper inboxes make backlog a usable migration signal: a
+		// saturated host shows a long queue well before backpressure
+		// stalls the readers.
+		dist.InboxPackets = 64
+		distStage = dist
+		sorterStage = pl.AddStage("blocksort", cl.Hosts, func() functor.Kernel {
+			return functor.NewBlockSort(cfg.Beta, recSize)
+		})
+		collect := pl.AddStage("collect", cl.ASUs, func() functor.Kernel {
+			return &functor.Sink{Label: "runs", Fn: func(ctx *functor.Ctx, pk container.Packet) {
+				rs.put(ctx.Proc, ctx.Node.Index, pk)
+			}}
+		})
+		edges = append(edges, dist.ConnectTo(sorterStage, sortPolicy))
+		edges = append(edges, sorterStage.ConnectTo(collect, &route.RoundRobin{}))
+		collect.Terminal()
+		for i, set := range in.Sets {
+			pl.AddSource(fmt.Sprintf("read@asu%d", i), cl.ASUs[i], set.Scan(i, false),
+				dist, localOrHost{local: i, asus: len(cl.ASUs), c: cl.Params.C})
+		}
+
+	case Conventional:
+		// Dumb disks stream raw blocks to the hosts; hosts do
+		// distribute + block sort fused in one pass; raw blocks are
+		// written back to the storage units with no ASU computation.
+		sorterStage = pl.AddStage("host-dist-sort", cl.Hosts, func() functor.Kernel {
+			return functor.NewFusedDistributeSort(cfg.Alpha, cfg.Beta, recSize)
+		})
+		writeback := pl.AddStage("writeback", cl.ASUs, func() functor.Kernel {
+			return &functor.Sink{Label: "runs", Fn: func(ctx *functor.Ctx, pk container.Packet) {
+				rs.put(ctx.Proc, ctx.Node.Index, pk)
+			}}
+		})
+		writeback.NoCPU = true // raw block DMA on conventional storage
+		edges = append(edges, sorterStage.ConnectTo(writeback, &route.RoundRobin{}))
+		writeback.Terminal()
+		for i, set := range in.Sets {
+			// Readers route packets across host sorters round-robin
+			// (the host pulls blocks from all disks evenly).
+			pl.AddSource(fmt.Sprintf("read@asu%d", i), cl.ASUs[i], set.Scan(i, false), sorterStage, &route.RoundRobin{})
+		}
+	default:
+		return nil, nil, fmt.Errorf("dsmsort: unknown placement %v", cfg.Placement)
+	}
+
+	var mon *functor.Monitor
+	if cfg.ProgressInterval > 0 {
+		mon = pl.AttachMonitor(cfg.ProgressInterval)
+	}
+	elapsed, err := pl.Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dsmsort: pass 1 failed: %w", err)
+	}
+	res := &Pass1Result{Elapsed: elapsed, Runs: rs.Runs(), Monitor: mon}
+	if distStage != nil {
+		var hostRecs, totalRecs int64
+		for _, inst := range distStage.Instances() {
+			totalRecs += inst.RecordsIn
+			if inst.Node.Kind == cluster.Host {
+				hostRecs += inst.RecordsIn
+			}
+		}
+		if totalRecs > 0 {
+			res.HybridHostShare = float64(hostRecs) / float64(totalRecs)
+		}
+	}
+	for _, st := range pl.Stages() {
+		for _, inst := range st.Instances() {
+			if inst.Node.Kind == cluster.Host {
+				res.HostOps += inst.OpsCharged
+			} else {
+				res.ASUOps += inst.OpsCharged
+			}
+		}
+	}
+	for _, e := range edges {
+		res.NetBytes += e.NetBytes
+	}
+	// Integrity: every input record must be stored in exactly one run.
+	if got := rs.Records(); got != int64(in.N) {
+		return nil, nil, fmt.Errorf("dsmsort: stored %d records, want %d", got, in.N)
+	}
+	if !rs.Checksum().Equal(in.Checksum) {
+		return nil, nil, fmt.Errorf("dsmsort: run store checksum mismatch")
+	}
+	if err := rs.sortedRunsOK(cfg.Alpha); err != nil {
+		return nil, nil, err
+	}
+	return rs, res, nil
+}
+
+// pin routes every packet to endpoint i.
+type pin int
+
+func (pin) Name() string                                       { return "pin" }
+func (f pin) Pick(pk route.PacketInfo, e []route.Endpoint) int { return int(f) % len(e) }
+
+// localOrHost is the hybrid migration policy: a reader chooses between its
+// local ASU's distribute instance and the host instances by estimated
+// completion time — backlog plus one, weighted by the node's relative
+// processing cost (the ASU is c times slower). Work therefore drains to
+// the hosts while they have spare capacity and returns to the ASUs as the
+// hosts saturate, without any central coordination.
+type localOrHost struct {
+	local int     // index of the reader's ASU instance
+	asus  int     // instances [0,asus) are ASU-resident; the rest are hosts
+	c     float64 // host/ASU power ratio
+}
+
+func (localOrHost) Name() string { return "local-or-host" }
+
+func (l localOrHost) Pick(pk route.PacketInfo, eps []route.Endpoint) int {
+	best := l.local % len(eps)
+	bestCost := float64(eps[best].Pending()+1) * l.c
+	for i := l.asus; i < len(eps); i++ {
+		if cost := float64(eps[i].Pending() + 1); cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}

@@ -1,0 +1,425 @@
+package dsmsort
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/records"
+	"lmas/internal/sim"
+)
+
+// OutputStore holds DSM-Sort's final output, striped across the ASUs ("a
+// γ-way merge to form sorted runs striped across the ASUs"). Each packet is
+// tagged with its bucket and a per-bucket sequence number (in Run) so the
+// global order is reconstructible: buckets are disjoint increasing key
+// ranges, and within a bucket packets are emitted in merge order.
+type OutputStore struct {
+	RecordSize int
+	Streams    []*container.Stream // one per ASU
+}
+
+// NewOutputStore allocates output storage on every ASU.
+func NewOutputStore(cl *cluster.Cluster) *OutputStore {
+	os := &OutputStore{RecordSize: cl.Params.RecordSize}
+	for _, asu := range cl.ASUs {
+		os.Streams = append(os.Streams,
+			container.NewStream("output@"+asu.Name, bte.NewDisk(asu.Disk), cl.Params.RecordSize))
+	}
+	return os
+}
+
+// Records reports the total records stored.
+func (o *OutputStore) Records() int64 {
+	var n int64
+	for _, st := range o.Streams {
+		n += st.Records()
+	}
+	return n
+}
+
+// Validate checks that the output is a complete ascending sort of in:
+// right count, matching multiset checksum, every packet sorted, packets
+// within a bucket nondecreasing across sequence numbers, and bucket key
+// ranges respected. It runs outside virtual time.
+func (o *OutputStore) Validate(in *Input, alpha int) error {
+	if got := o.Records(); got != int64(in.N) {
+		return fmt.Errorf("dsmsort: output has %d records, want %d", got, in.N)
+	}
+	var sum records.Checksum
+	byBucket := map[int][]container.Packet{}
+	for _, st := range o.Streams {
+		st.ForEach(func(pk container.Packet) bool {
+			sum.Add(pk.Buf)
+			byBucket[pk.Bucket] = append(byBucket[pk.Bucket], pk)
+			return true
+		})
+	}
+	if !sum.Equal(in.Checksum) {
+		return fmt.Errorf("dsmsort: output checksum mismatch: %v vs %v", sum, in.Checksum)
+	}
+	sp := records.Splitters(alpha)
+	for bucket, pks := range byBucket {
+		sort.Slice(pks, func(i, j int) bool { return pks[i].Run < pks[j].Run })
+		var last records.Key
+		haveLast := false
+		for _, pk := range pks {
+			if !pk.Buf.IsSorted() {
+				return fmt.Errorf("dsmsort: unsorted output packet in bucket %d", bucket)
+			}
+			if pk.Len() == 0 {
+				continue
+			}
+			if haveLast && pk.Buf.Key(0) < last {
+				return fmt.Errorf("dsmsort: bucket %d packets out of order across seq", bucket)
+			}
+			last = pk.Buf.Key(pk.Len() - 1)
+			haveLast = true
+			n := pk.Len()
+			for i := 0; i < n; i++ {
+				if records.BucketOf(pk.Buf.Key(i), sp) != bucket {
+					return fmt.Errorf("dsmsort: output record in wrong bucket %d", bucket)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MergeResult reports merge-pass outcomes.
+type MergeResult struct {
+	Elapsed sim.Duration
+	// ASUMergeLevels is the maximum number of local merge levels any
+	// (ASU, bucket) pair needed (1 when runs fit in a single γ2-way
+	// merge).
+	ASUMergeLevels int
+	HostOps        float64
+	ASUOps         float64
+}
+
+// mergeHeap is a loser-tree-equivalent k-way merge frontier.
+type mergeItem struct {
+	key records.Key
+	src int
+}
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// mergeBuffers merges k sorted buffers into one sorted buffer (pure
+// computation; callers charge the CPU cost separately).
+func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
+	total := 0
+	for _, b := range bufs {
+		total += b.Len()
+	}
+	out := records.NewBuffer(total, recSize)
+	pos := make([]int, len(bufs))
+	var h mergeHeap
+	for i, b := range bufs {
+		if b.Len() > 0 {
+			h = append(h, mergeItem{key: b.Key(0), src: i})
+		}
+	}
+	heap.Init(&h)
+	w := 0
+	for h.Len() > 0 {
+		it := h[0]
+		b := bufs[it.src]
+		copy(out.Record(w), b.Record(pos[it.src]))
+		w++
+		pos[it.src]++
+		if pos[it.src] < b.Len() {
+			h[0] = mergeItem{key: b.Key(pos[it.src]), src: it.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// MergePass executes DSM-Sort's merge pass: for every bucket, each ASU
+// pre-merges its local runs γ2 ways (possibly over multiple levels) into a
+// single sorted stream, and a host merges the per-ASU streams γ1 = D ways
+// into the bucket's final output, striped back across the ASUs. "The merge
+// is divided between hosts and ASUs, so that γ1·γ2 = γ" (Section 4.3).
+func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *MergeResult, error) {
+	if cfg.Gamma2 < 2 {
+		return nil, nil, fmt.Errorf("dsmsort: gamma2 must be >= 2 for merging, have %d", cfg.Gamma2)
+	}
+	out := NewOutputStore(cl)
+	res := &MergeResult{}
+	hostN := len(cl.Hosts)
+	d := len(cl.ASUs)
+
+	// Output collectors: one proc per ASU draining an inbox of final
+	// packets, charging ASU touch (packet reassembly) plus disk write.
+	collectors := make([]*sim.Queue[container.Packet], d)
+	for i, asu := range cl.ASUs {
+		i, asu := i, asu
+		collectors[i] = sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("out.collect%d", i), 8)
+		cl.Sim.Spawn(fmt.Sprintf("collect@asu%d", i), func(p *sim.Proc) {
+			touch := cl.Touch(asu)
+			for {
+				pk, ok := collectors[i].Get(p)
+				if !ok {
+					break
+				}
+				ops := float64(pk.Len()) * touch
+				res.ASUOps += ops
+				asu.Compute(p, ops)
+				out.Streams[i].Append(p, pk)
+			}
+			out.Streams[i].Flush(p)
+		})
+	}
+
+	// Per (bucket, ASU) local merge feeding a bounded stream queue; per
+	// bucket a host merger consuming those queues.
+	type bucketWork struct {
+		bucket int
+		queues []*sim.Queue[container.Packet]
+		srcs   []*cluster.Node
+	}
+	var buckets []bucketWork
+	alpha := len(rs.Streams[0])
+	openCollectors := 0 // producers into collectors (host mergers)
+	for b := 0; b < alpha; b++ {
+		var queues []*sim.Queue[container.Packet]
+		var srcs []*cluster.Node
+		for asuIdx := 0; asuIdx < d; asuIdx++ {
+			st := rs.Streams[asuIdx][b]
+			if st == nil || st.Packets() == 0 {
+				continue
+			}
+			q := sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("merge.b%d.asu%d", b, asuIdx), 4)
+			queues = append(queues, q)
+			asu := cl.ASUs[asuIdx]
+			srcs = append(srcs, asu)
+			b := b
+			cl.Sim.Spawn(fmt.Sprintf("asumerge.b%d@asu%d", b, asuIdx), func(p *sim.Proc) {
+				levels := asuLocalMerge(cl, cfg, p, asu, st, q, res)
+				if levels > res.ASUMergeLevels {
+					res.ASUMergeLevels = levels
+				}
+				q.Close()
+			})
+		}
+		if len(queues) == 0 {
+			continue
+		}
+		buckets = append(buckets, bucketWork{bucket: b, queues: queues, srcs: srcs})
+		openCollectors++
+	}
+
+	// Close collector inboxes when every host merger is done.
+	remaining := openCollectors
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			for _, q := range collectors {
+				q.Close()
+			}
+		}
+	}
+	if openCollectors == 0 {
+		for _, q := range collectors {
+			q.Close()
+		}
+	}
+
+	stripe := 0
+	for i, bw := range buckets {
+		bw := bw
+		host := cl.Hosts[i%hostN]
+		cl.Sim.Spawn(fmt.Sprintf("hostmerge.b%d@%s", bw.bucket, host.Name), func(p *sim.Proc) {
+			hostBucketMerge(cl, cfg, p, host, bw.bucket, bw.queues, bw.srcs, collectors, &stripe, res)
+			done()
+		})
+	}
+
+	start := cl.Sim.Now()
+	if err := cl.Sim.Run(); err != nil {
+		return nil, nil, fmt.Errorf("dsmsort: merge pass failed: %w", err)
+	}
+	res.Elapsed = sim.Duration(cl.Sim.Now() - start)
+	return out, res, nil
+}
+
+// asuLocalMerge merges the runs of one (ASU, bucket) stream γ2 ways into a
+// single sorted stream of packets pushed to q. Returns the number of merge
+// levels used.
+func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.Node, st *container.Stream, q *sim.Queue[container.Packet], res *MergeResult) int {
+	recSize := cl.Params.RecordSize
+	cm := cl.Params.Costs
+	touch := cl.Touch(asu)
+
+	// Load this bucket's runs (sequential disk read).
+	var runs []records.Buffer
+	sc := st.Scan()
+	for {
+		pk, ok := sc.Next(p)
+		if !ok {
+			break
+		}
+		runs = append(runs, pk.Buf)
+	}
+	levels := 0
+	// Intermediate levels: merge batches of γ2 runs into longer runs,
+	// charging CPU plus the write+read round trip intermediate data
+	// makes through local storage.
+	eng := st.Engine()
+	for len(runs) > cfg.Gamma2 {
+		levels++
+		var next []records.Buffer
+		for lo := 0; lo < len(runs); lo += cfg.Gamma2 {
+			hi := lo + cfg.Gamma2
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			batch := runs[lo:hi]
+			nrec := 0
+			for _, b := range batch {
+				nrec += b.Len()
+			}
+			ops := float64(nrec) * (touch + log2f(len(batch))*cm.CompareOps)
+			res.ASUOps += ops
+			asu.Compute(p, ops)
+			merged := mergeBuffers(batch, recSize)
+			// Intermediate run round-trips through local storage.
+			id := eng.Append(p, merged.Raw())
+			eng.Read(p, id)
+			eng.Free(id)
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	levels++
+	// Final level: streaming γ2-way merge emitting packets to the host.
+	frontier := make([]int, len(runs))
+	var h mergeHeap
+	for i, b := range runs {
+		if b.Len() > 0 {
+			h = append(h, mergeItem{key: b.Key(0), src: i})
+		}
+	}
+	heap.Init(&h)
+	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
+	fill := 0
+	flush := func() {
+		if fill == 0 {
+			return
+		}
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1}
+		ops := float64(fill) * (touch + log2f(len(runs))*cm.CompareOps)
+		res.ASUOps += ops
+		asu.Compute(p, ops)
+		// Stream to the consuming host merger; the network hop is
+		// charged by the host side on receipt (it knows its NIC).
+		if err := q.Put(p, pk); err != nil {
+			panic(err)
+		}
+		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
+		fill = 0
+	}
+	for h.Len() > 0 {
+		it := h[0]
+		b := runs[it.src]
+		copy(outBuf.Record(fill), b.Record(frontier[it.src]))
+		fill++
+		frontier[it.src]++
+		if frontier[it.src] < b.Len() {
+			h[0] = mergeItem{key: b.Key(frontier[it.src]), src: it.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+		if fill == cfg.PacketRecords {
+			flush()
+		}
+	}
+	flush()
+	return levels
+}
+
+// hostBucketMerge merges the ASU streams of one bucket γ1 = len(queues)
+// ways on a host and stripes output packets across the ASU collectors.
+func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster.Node, bucket int, queues []*sim.Queue[container.Packet], srcs []*cluster.Node, collectors []*sim.Queue[container.Packet], stripe *int, res *MergeResult) {
+	recSize := cl.Params.RecordSize
+	cm := cl.Params.Costs
+	touch := cl.Touch(host)
+	gamma1 := len(queues)
+
+	// Stream heads: current packet and position per input queue.
+	heads := make([]container.Packet, gamma1)
+	pos := make([]int, gamma1)
+	advance := func(i int) bool {
+		pk, ok := queues[i].Get(p)
+		if !ok {
+			return false
+		}
+		// Charge the ASU->host hop for the received packet.
+		cl.Net.Stream(p, srcs[i].NIC, host.NIC, pk.Bytes()+64)
+		heads[i] = pk
+		pos[i] = 0
+		return true
+	}
+	var h mergeHeap
+	for i := range queues {
+		if advance(i) {
+			h = append(h, mergeItem{key: heads[i].Buf.Key(0), src: i})
+		}
+	}
+	heap.Init(&h)
+
+	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
+	fill, seq := 0, 0
+	flush := func() {
+		if fill == 0 {
+			return
+		}
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq}
+		seq++
+		ops := float64(fill) * (touch + log2f(gamma1)*cm.CompareOps)
+		res.HostOps += ops
+		host.Compute(p, ops)
+		dest := *stripe % len(collectors)
+		*stripe++
+		cl.Net.Stream(p, host.NIC, cl.ASUs[dest].NIC, pk.Bytes()+64)
+		if err := collectors[dest].Put(p, pk); err != nil {
+			panic(err)
+		}
+		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
+		fill = 0
+	}
+	for h.Len() > 0 {
+		it := h[0]
+		src := it.src
+		copy(outBuf.Record(fill), heads[src].Buf.Record(pos[src]))
+		fill++
+		pos[src]++
+		if pos[src] == heads[src].Len() {
+			if !advance(src) {
+				heap.Pop(&h)
+			} else {
+				h[0] = mergeItem{key: heads[src].Buf.Key(0), src: src}
+				heap.Fix(&h, 0)
+			}
+		} else {
+			h[0] = mergeItem{key: heads[src].Buf.Key(pos[src]), src: src}
+			heap.Fix(&h, 0)
+		}
+		if fill == cfg.PacketRecords {
+			flush()
+		}
+	}
+	flush()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/functor"
+	"lmas/internal/loadmgr"
+	"lmas/internal/metrics"
+	"lmas/internal/records"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+)
+
+// AdaptOptions parameterizes TAB-ADAPT: mid-run adaptation. The run starts
+// with the static (imbalance-prone) subset assignment of Figure 10; a
+// load-manager watch samples host utilizations and, when the input skew
+// materializes and the hosts diverge, switches the distribute→sort edge to
+// simple randomization while the sort is running.
+type AdaptOptions struct {
+	N             int
+	Hosts, ASUs   int
+	Alpha, Beta   int
+	PacketRecords int
+	Window        sim.Duration
+	// Threshold/Consecutive configure the imbalance trigger.
+	Threshold   float64
+	Consecutive int
+	SkewMean    float64
+	Base        cluster.Params
+	Seed        int64
+}
+
+// DefaultAdaptOptions mirrors the Figure 10 setup.
+func DefaultAdaptOptions() AdaptOptions {
+	f10 := DefaultFig10Options()
+	return AdaptOptions{
+		N:             f10.N,
+		Hosts:         f10.Hosts,
+		ASUs:          f10.ASUs,
+		Alpha:         f10.Alpha,
+		Beta:          f10.Beta,
+		PacketRecords: f10.PacketRecords,
+		Window:        f10.Window,
+		Threshold:     0.25,
+		Consecutive:   2,
+		SkewMean:      f10.SkewMean,
+		Base:          f10.Base,
+		Seed:          f10.Seed,
+	}
+}
+
+// AdaptCell is one strategy's outcome.
+type AdaptCell struct {
+	Strategy  string
+	Elapsed   sim.Duration
+	Imbalance float64
+	// SwitchedAt is when adaptation fired (adaptive strategy only).
+	SwitchedAt sim.Time
+}
+
+// AdaptResult holds the comparison.
+type AdaptResult struct {
+	Options AdaptOptions
+	Cells   []AdaptCell
+}
+
+// Table renders the comparison.
+func (r *AdaptResult) Table() *metrics.Table {
+	t := metrics.NewTable("TAB-ADAPT: mid-run policy adaptation under skew",
+		"strategy", "elapsed(s)", "imbalance", "switched at(s)")
+	for _, c := range r.Cells {
+		sw := "-"
+		if c.SwitchedAt > 0 {
+			sw = fmt.Sprintf("%.2f", c.SwitchedAt.Seconds())
+		}
+		t.AddRow(c.Strategy, c.Elapsed.Seconds(), c.Imbalance, sw)
+	}
+	return t
+}
+
+// RunAdapt measures static, adaptive-switch, and SR-from-the-start.
+func RunAdapt(opt AdaptOptions) (*AdaptResult, error) {
+	res := &AdaptResult{Options: opt}
+	for _, strategy := range []string{"static", "adaptive", "sr"} {
+		cell, err := runAdaptCell(opt, strategy)
+		if err != nil {
+			return nil, fmt.Errorf("adapt %s: %w", strategy, err)
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
+	params := opt.Base
+	params.Hosts, params.ASUs = opt.Hosts, opt.ASUs
+	params.UtilWindow = opt.Window
+	cl := cluster.New(params)
+	recSize := params.RecordSize
+
+	// Figure 10 input: uniform first half, skewed second half.
+	buf := records.GenerateHalves(opt.N, recSize, opt.Seed,
+		records.Uniform{}, records.Exponential{Mean: opt.SkewMean})
+	sets := make([]*container.Set, opt.ASUs)
+	cl.Sim.Spawn("load", func(p *sim.Proc) {
+		for i, asu := range cl.ASUs {
+			sets[i] = container.NewSet(fmt.Sprintf("adapt.in%d", i), bte.NewDisk(asu.Disk), recSize)
+		}
+		for pi, off := 0, 0; off < opt.N; pi, off = pi+1, off+opt.PacketRecords {
+			hi := off + opt.PacketRecords
+			if hi > opt.N {
+				hi = opt.N
+			}
+			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).Clone()))
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		return AdaptCell{}, err
+	}
+
+	pl := functor.NewPipeline(cl)
+	dist := pl.AddStage("distribute", cl.ASUs, func() functor.Kernel {
+		return functor.Adapt(functor.NewDistribute(opt.Alpha), recSize, opt.PacketRecords)
+	})
+	srt := pl.AddStage("blocksort", cl.Hosts, func() functor.Kernel {
+		return functor.NewBlockSort(opt.Beta, recSize)
+	})
+	var initial route.Policy = route.Static{Buckets: opt.Alpha}
+	if strategy == "sr" {
+		initial = route.NewSR(opt.Seed)
+	}
+	edge := dist.ConnectTo(srt, initial)
+	done := false
+	var finishedAt sim.Time
+	srt.Terminal().Done = func() {
+		done = true
+		finishedAt = cl.Sim.Now()
+	}
+	for i, set := range sets {
+		pl.AddSource(fmt.Sprintf("read%d", i), cl.ASUs[i], set.Scan(i, false), dist, pinPolicy(i))
+	}
+
+	var watch *loadmgr.ImbalanceWatch
+	if strategy == "adaptive" {
+		watch = &loadmgr.ImbalanceWatch{
+			Window:      opt.Window,
+			Threshold:   opt.Threshold,
+			Consecutive: opt.Consecutive,
+		}
+		watch.Spawn(cl, cl.Hosts, &done, func() {
+			edge.SetPolicy(route.NewSR(opt.Seed))
+		})
+	}
+
+	start := cl.Sim.Now()
+	pl.Start()
+	if err := cl.Sim.Run(); err != nil {
+		return AdaptCell{}, err
+	}
+	// Elapsed is measured at pipeline completion, excluding the watch's
+	// trailing sampling window.
+	elapsed := sim.Duration(finishedAt - start)
+	var traces []*metrics.UtilTrace
+	for _, h := range cl.Hosts {
+		traces = append(traces, h.CPUTrace)
+	}
+	cell := AdaptCell{
+		Strategy:  strategy,
+		Elapsed:   elapsed,
+		Imbalance: loadmgr.Imbalance(traces, int(elapsed/sim.Duration(opt.Window))),
+	}
+	if watch != nil && watch.Fired() {
+		cell.SwitchedAt = watch.FiredAt
+	}
+	return cell, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+// fastFig9Options shrinks the grid for test speed while keeping the shape.
+func fastFig9Options() Fig9Options {
+	opt := DefaultFig9Options()
+	opt.N = 1 << 17
+	opt.ASUs = []int{2, 8, 16, 64}
+	opt.Alphas = []int{1, 16, 256}
+	return opt
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, err := RunFig9(fastFig9Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(d, a int) float64 {
+		c, ok := res.Cell(d, a, false)
+		if !ok {
+			t.Fatalf("missing cell d=%d a=%d", d, a)
+		}
+		return c.Speedup
+	}
+	// Small D: slowdown, worse for larger alpha.
+	if sp := get(2, 256); sp >= 0.7 {
+		t.Errorf("d=2 a=256 speedup %.3f, want < 0.7 (strong slowdown)", sp)
+	}
+	if get(2, 256) >= get(2, 1) {
+		t.Errorf("d=2: slowdown must worsen with alpha: a=256 %.3f vs a=1 %.3f", get(2, 256), get(2, 1))
+	}
+	// Large D: speedup, better for larger alpha. (At the full default
+	// input size this point reaches ~1.34; the reduced test input pays
+	// proportionally more end-of-stream overhead.)
+	if sp := get(64, 256); sp <= 1.2 {
+		t.Errorf("d=64 a=256 speedup %.3f, want > 1.2", sp)
+	}
+	if !(get(64, 256) > get(64, 16) && get(64, 16) > get(64, 1)) {
+		t.Errorf("d=64: speedup should increase with alpha: %.3f %.3f %.3f",
+			get(64, 1), get(64, 16), get(64, 256))
+	}
+	// Alpha=1 plateaus near 1.0 once the host saturates.
+	if sp := get(64, 1); sp < 0.85 || sp > 1.2 {
+		t.Errorf("d=64 a=1 speedup %.3f, want ~1.0", sp)
+	}
+	// Crossover: a=256 goes from losing to winning as ASUs are added.
+	if !(get(2, 256) < 1 && get(64, 256) > 1) {
+		t.Errorf("no crossover for a=256: d=2 %.3f, d=64 %.3f", get(2, 256), get(64, 256))
+	}
+	// Host saturation: beyond 16 ASUs, adding ASUs helps a=256 little.
+	gain := get(64, 256) / get(16, 256)
+	if gain > 1.5 {
+		t.Errorf("d=16->64 a=256 still gained %.2fx; host should saturate around 16", gain)
+	}
+	// Adaptive tracks the best static series within tolerance.
+	for _, d := range []int{2, 8, 16, 64} {
+		ad, ok := res.Cell(d, 0, true)
+		if !ok {
+			t.Fatalf("missing adaptive cell d=%d", d)
+		}
+		best := 0.0
+		for _, a := range []int{1, 16, 256} {
+			if sp := get(d, a); sp > best {
+				best = sp
+			}
+		}
+		if ad.Speedup < 0.9*best {
+			t.Errorf("d=%d: adaptive %.3f < 90%% of best static %.3f", d, ad.Speedup, best)
+		}
+	}
+	// Table renders all rows.
+	tab := res.Table().String()
+	if !strings.Contains(tab, "a=256") || !strings.Contains(tab, "adaptive") {
+		t.Errorf("table missing series:\n%s", tab)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	opt := DefaultFig10Options()
+	opt.N = 1 << 16
+	opt.Window = 25 * sim.Millisecond
+	res, err := RunFig10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The load-managed run must finish no later and be clearly more
+	// balanced ("The load-managed run terminates earlier; it shows
+	// nearly identical utilizations on the two hosts").
+	if res.Managed.Elapsed > res.Static.Elapsed {
+		t.Errorf("managed %.3fs slower than static %.3fs",
+			res.Managed.Elapsed.Seconds(), res.Static.Elapsed.Seconds())
+	}
+	if res.Managed.Imbalance >= res.Static.Imbalance {
+		t.Errorf("managed imbalance %.3f >= static %.3f",
+			res.Managed.Imbalance, res.Static.Imbalance)
+	}
+	if res.Static.Imbalance < 0.1 {
+		t.Errorf("static imbalance %.3f too small; skew did not bite", res.Static.Imbalance)
+	}
+	if res.Managed.Imbalance > 0.25 {
+		t.Errorf("managed imbalance %.3f; SR should nearly equalize hosts", res.Managed.Imbalance)
+	}
+	if len(res.Static.HostUtil) != 2 || len(res.Managed.HostUtil) != 2 {
+		t.Fatal("missing host traces")
+	}
+	// Tables render.
+	if s := res.Table().String(); !strings.Contains(s, "static.host1") {
+		t.Errorf("series table malformed:\n%s", s)
+	}
+	if s := res.Summary().String(); !strings.Contains(s, "load-managed") {
+		t.Errorf("summary malformed:\n%s", s)
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/functor"
+	"lmas/internal/metrics"
+	"lmas/internal/records"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+)
+
+// FilterOptions parameterizes TAB-FILTER, the canonical active-storage
+// win the paper's background motivates: "Filtering and aggregation
+// operations performed directly at the ASUs can reduce data movement
+// across the interconnect, helping to overcome bandwidth limitations"
+// (Section 2). A selection scan keeps the records whose key falls below a
+// threshold; executing the filter on the ASUs ships only matches to the
+// host, while conventional storage ships everything.
+type FilterOptions struct {
+	N             int
+	ASUs          int
+	PacketRecords int
+	// Selectivities are the match fractions to sweep.
+	Selectivities []float64
+	Base          cluster.Params
+	Seed          int64
+}
+
+// DefaultFilterOptions sweeps from needle-in-haystack to keep-everything.
+// The interconnect is deliberately bandwidth-constrained (unlike the
+// default SAN, where processors saturate first): filtering at the ASUs
+// matters most when shipping everything would saturate the network, the
+// regime Section 2 cites.
+func DefaultFilterOptions() FilterOptions {
+	base := cluster.DefaultParams()
+	base.NetBandwidth = 60e6
+	return FilterOptions{
+		N:             1 << 18,
+		ASUs:          16,
+		PacketRecords: 64,
+		Selectivities: []float64{0.01, 0.1, 0.5, 1.0},
+		Base:          base,
+		Seed:          42,
+	}
+}
+
+// FilterCell is one (selectivity, placement) measurement.
+type FilterCell struct {
+	Selectivity float64
+	// ActiveSecs / ConvSecs are the scan times per placement.
+	ActiveSecs, ConvSecs float64
+	// ActiveNetMB / ConvNetMB are interconnect volumes.
+	ActiveNetMB, ConvNetMB float64
+	Matches                int64
+}
+
+// FilterResult holds the sweep.
+type FilterResult struct {
+	Options FilterOptions
+	Cells   []FilterCell
+}
+
+// Table renders the sweep.
+func (r *FilterResult) Table() *metrics.Table {
+	t := metrics.NewTable("TAB-FILTER: selection scan, filter on ASUs vs on host",
+		"selectivity", "active(s)", "conv(s)", "speedup", "active net(MB)", "conv net(MB)")
+	for _, c := range r.Cells {
+		t.AddRow(c.Selectivity, c.ActiveSecs, c.ConvSecs, c.ConvSecs/c.ActiveSecs,
+			c.ActiveNetMB, c.ConvNetMB)
+	}
+	return t
+}
+
+// RunFilter measures the selection scan at every selectivity in both
+// placements, validating match counts against a direct count.
+func RunFilter(opt FilterOptions) (*FilterResult, error) {
+	res := &FilterResult{Options: opt}
+	for _, sel := range opt.Selectivities {
+		threshold := records.Key(float64(records.MaxKey) * sel)
+		cell := FilterCell{Selectivity: sel}
+		for _, onASU := range []bool{true, false} {
+			secs, netMB, matches, err := runFilterScan(opt, threshold, onASU)
+			if err != nil {
+				return nil, fmt.Errorf("filter sel=%g onASU=%v: %w", sel, onASU, err)
+			}
+			if onASU {
+				cell.ActiveSecs, cell.ActiveNetMB = secs, netMB
+				cell.Matches = matches
+			} else {
+				cell.ConvSecs, cell.ConvNetMB = secs, netMB
+				if matches != cell.Matches {
+					return nil, fmt.Errorf("filter sel=%g: placements disagree: %d vs %d matches",
+						sel, cell.Matches, matches)
+				}
+			}
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+func runFilterScan(opt FilterOptions, threshold records.Key, onASU bool) (secs, netMB float64, matches int64, err error) {
+	params := opt.Base
+	params.Hosts, params.ASUs = 1, opt.ASUs
+	cl := cluster.New(params)
+
+	// Load the data set striped across the ASUs and count expected
+	// matches directly (the validation oracle).
+	buf := records.Generate(opt.N, params.RecordSize, opt.Seed, records.Uniform{})
+	var want int64
+	for i := 0; i < opt.N; i++ {
+		if buf.Key(i) < threshold {
+			want++
+		}
+	}
+	sets := make([]*container.Set, opt.ASUs)
+	cl.Sim.Spawn("load", func(p *sim.Proc) {
+		for i, asu := range cl.ASUs {
+			sets[i] = container.NewSet(fmt.Sprintf("scan.in%d", i), bte.NewDisk(asu.Disk), params.RecordSize)
+		}
+		for pi, off := 0, 0; off < opt.N; pi, off = pi+1, off+opt.PacketRecords {
+			hi := off + opt.PacketRecords
+			if hi > opt.N {
+				hi = opt.N
+			}
+			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).Clone()))
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	pl := functor.NewPipeline(cl)
+	newFilter := func() functor.Kernel {
+		return functor.Adapt(&functor.Filter{
+			Keep: func(k records.Key) bool { return k < threshold },
+		}, params.RecordSize, opt.PacketRecords)
+	}
+	var got int64
+	consume := pl.AddStage("consume", cl.Hosts, func() functor.Kernel {
+		return &functor.Sink{Label: "matches", Fn: func(ctx *functor.Ctx, pk container.Packet) {
+			got += int64(pk.Len())
+		}}
+	})
+	consume.Terminal()
+	var edge *functor.Edge
+	if onASU {
+		filter := pl.AddStage("filter", cl.ASUs, newFilter)
+		edge = filter.ConnectTo(consume, &route.RoundRobin{})
+		for i, set := range sets {
+			pl.AddSource(fmt.Sprintf("read%d", i), cl.ASUs[i], set.Scan(i, false), filter, pinTo(i))
+		}
+	} else {
+		// Conventional: raw blocks to the host, filter there, then
+		// consume — the filter stage lives on the host.
+		filter := pl.AddStage("filter", cl.Hosts, newFilter)
+		edge = filter.ConnectTo(consume, &route.RoundRobin{})
+		for i, set := range sets {
+			pl.AddSource(fmt.Sprintf("read%d", i), cl.ASUs[i], set.Scan(i, false), filter, &route.RoundRobin{})
+		}
+	}
+	elapsed, err := pl.Run()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if got != want {
+		return 0, 0, 0, fmt.Errorf("matched %d records, want %d", got, want)
+	}
+	var net int64
+	_ = edge
+	for _, asu := range cl.ASUs {
+		sent, _, sb, _ := asu.NIC.Stats()
+		_ = sent
+		net += sb
+	}
+	return elapsed.Seconds(), float64(net) / 1e6, got, nil
+}
+
+// pinTo routes every packet to endpoint i.
+type pinTo int
+
+func (pinTo) Name() string { return "pin" }
+func (f pinTo) Pick(pk route.PacketInfo, e []route.Endpoint) int {
+	return int(f) % len(e)
+}

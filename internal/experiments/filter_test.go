@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFilterPushdown(t *testing.T) {
+	opt := DefaultFilterOptions()
+	opt.N = 1 << 15
+	opt.Selectivities = []float64{0.01, 1.0}
+	res, err := RunFilter(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needle, all := res.Cells[0], res.Cells[1]
+	// Low selectivity: pushing the filter to the ASUs must cut
+	// interconnect traffic dramatically and win on time.
+	if needle.ActiveNetMB > 0.2*needle.ConvNetMB {
+		t.Errorf("sel=0.01: active moved %.1f MB vs conventional %.1f MB; pushdown must slash traffic",
+			needle.ActiveNetMB, needle.ConvNetMB)
+	}
+	if needle.ActiveSecs >= needle.ConvSecs {
+		t.Errorf("sel=0.01: active %.4fs not faster than conventional %.4fs",
+			needle.ActiveSecs, needle.ConvSecs)
+	}
+	// Keep-everything: no traffic reduction is possible; active must
+	// not win by much and may lose (weak ASU processors do the work).
+	if all.ActiveNetMB < 0.9*all.ConvNetMB {
+		t.Errorf("sel=1.0: active traffic %.1f MB much below conventional %.1f MB; nothing should be filtered",
+			all.ActiveNetMB, all.ConvNetMB)
+	}
+	// Matches must agree between placements (checked internally) and be
+	// roughly selectivity * N.
+	if needle.Matches <= 0 || needle.Matches > int64(opt.N)/20 {
+		t.Errorf("sel=0.01 matched %d of %d", needle.Matches, opt.N)
+	}
+	if s := res.Table().String(); !strings.Contains(s, "selectivity") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}
+
+func TestFilterSpeedupGrowsAsSelectivityFalls(t *testing.T) {
+	opt := DefaultFilterOptions()
+	opt.N = 1 << 15
+	opt.Selectivities = []float64{0.05, 0.5}
+	res, err := RunFilter(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spLow := res.Cells[0].ConvSecs / res.Cells[0].ActiveSecs
+	spHigh := res.Cells[1].ConvSecs / res.Cells[1].ActiveSecs
+	if spLow <= spHigh {
+		t.Errorf("speedup at sel=0.05 (%.2f) should exceed sel=0.5 (%.2f)", spLow, spHigh)
+	}
+}

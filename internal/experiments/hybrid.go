@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
+	"lmas/internal/metrics"
+	"lmas/internal/records"
+)
+
+// HybridOptions parameterizes TAB-HYBRID: the functor-migration placement
+// ("load management may... migrate functors between host nodes and ASUs",
+// Section 3.3) against the two static placements across the Figure 9
+// x-axis.
+type HybridOptions struct {
+	N             int
+	ASUs          []int
+	Alpha, Beta   int
+	PacketRecords int
+	Base          cluster.Params
+	Seed          int64
+}
+
+// DefaultHybridOptions covers the regimes where each placement wins.
+func DefaultHybridOptions() HybridOptions {
+	return HybridOptions{
+		N:             1 << 18,
+		ASUs:          []int{2, 8, 16, 64},
+		Alpha:         64,
+		Beta:          64,
+		PacketRecords: 32,
+		Base:          cluster.DefaultParams(),
+		Seed:          42,
+	}
+}
+
+// HybridCell is one ASU count's three-way comparison, as speedups relative
+// to the conventional placement.
+type HybridCell struct {
+	ASUs    int
+	Active  float64
+	Hybrid  float64
+	HostOps float64 // host distribute share under hybrid (fraction of records)
+}
+
+// HybridResult holds the sweep.
+type HybridResult struct {
+	Options HybridOptions
+	Cells   []HybridCell
+}
+
+// Table renders the comparison.
+func (r *HybridResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("TAB-HYBRID: functor migration (alpha=%d; speedups vs conventional)", r.Options.Alpha),
+		"ASUs", "active", "hybrid", "hybrid dist. on hosts")
+	for _, c := range r.Cells {
+		t.AddRow(c.ASUs, c.Active, c.Hybrid, fmt.Sprintf("%.0f%%", 100*c.HostOps))
+	}
+	return t
+}
+
+// RunHybrid measures all three placements per ASU count.
+func RunHybrid(opt HybridOptions) (*HybridResult, error) {
+	res := &HybridResult{Options: opt}
+	for _, d := range opt.ASUs {
+		measure := func(pl dsmsort.Placement) (secs float64, hostShare float64, err error) {
+			params := opt.Base
+			params.Hosts, params.ASUs = 1, d
+			cl := cluster.New(params)
+			in := dsmsort.MakeInput(cl, opt.N, records.Uniform{}, opt.Seed, opt.PacketRecords)
+			cfg := dsmsort.Config{
+				Alpha: opt.Alpha, Beta: opt.Beta, Gamma2: 2,
+				PacketRecords: opt.PacketRecords, Placement: pl, Seed: opt.Seed,
+			}
+			_, r, err := dsmsort.RunFormation(cl, cfg, in)
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.Elapsed.Seconds(), r.HybridHostShare, nil
+		}
+		conv, _, err := measure(dsmsort.Conventional)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid d=%d conventional: %w", d, err)
+		}
+		act, _, err := measure(dsmsort.Active)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid d=%d active: %w", d, err)
+		}
+		hyb, share, err := measure(dsmsort.Hybrid)
+		if err != nil {
+			return nil, fmt.Errorf("hybrid d=%d hybrid: %w", d, err)
+		}
+		res.Cells = append(res.Cells, HybridCell{
+			ASUs:    d,
+			Active:  conv / act,
+			Hybrid:  conv / hyb,
+			HostOps: share,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHybridDominatesWhereStaticsLose(t *testing.T) {
+	opt := DefaultHybridOptions()
+	opt.N = 1 << 16
+	opt.ASUs = []int{2, 8, 32}
+	res, err := RunHybrid(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byD := map[int]HybridCell{}
+	for _, c := range res.Cells {
+		byD[c.ASUs] = c
+	}
+	// Few ASUs: active loses badly; hybrid must stay near conventional
+	// (speedup ~1) by migrating distribute work to the host.
+	if c := byD[2]; c.Hybrid < 0.9 {
+		t.Errorf("d=2: hybrid speedup %.2f, want ~1 (active was %.2f)", c.Hybrid, c.Active)
+	}
+	if c := byD[2]; c.Hybrid <= c.Active {
+		t.Errorf("d=2: hybrid %.2f must beat active %.2f", c.Hybrid, c.Active)
+	}
+	// Host distribute share must fall as ASUs are added (migration).
+	if byD[2].HostOps <= byD[32].HostOps {
+		t.Errorf("host share did not shrink with ASUs: %.2f (d=2) vs %.2f (d=32)",
+			byD[2].HostOps, byD[32].HostOps)
+	}
+	// Many ASUs: hybrid must capture most of active's benefit.
+	if c := byD[32]; c.Hybrid < 0.85*c.Active {
+		t.Errorf("d=32: hybrid %.2f captured too little of active %.2f", c.Hybrid, c.Active)
+	}
+	if c := byD[32]; c.Hybrid <= 1.05 {
+		t.Errorf("d=32: hybrid %.2f shows no active-storage benefit", c.Hybrid)
+	}
+	if s := res.Table().String(); !strings.Contains(s, "hybrid") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPacketSweep(t *testing.T) {
+	opt := DefaultPacketOptions()
+	opt.N = 1 << 17
+	opt.ASUs = 8
+	opt.Packets = []int{4, 64, 1024}
+	res, err := RunPacket(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	tiny, mid, huge := res.Cells[0], res.Cells[1], res.Cells[2]
+	// Tiny packets pay more header overhead on the interconnect.
+	if tiny.OverheadFrac <= mid.OverheadFrac {
+		t.Errorf("4-record packets overhead %.3f <= 64-record %.3f",
+			tiny.OverheadFrac, mid.OverheadFrac)
+	}
+	if tiny.NetBytes <= huge.NetBytes {
+		t.Errorf("tiny packets moved fewer bytes: %d vs %d", tiny.NetBytes, huge.NetBytes)
+	}
+	// The mid-size packet should be at least as fast as either extreme
+	// (tiny loses to per-packet costs, huge loses pipelining).
+	if mid.Pass1Secs > tiny.Pass1Secs || mid.Pass1Secs > huge.Pass1Secs {
+		t.Errorf("64-record packets (%.4fs) should not lose to 4 (%.4fs) or 1024 (%.4fs)",
+			mid.Pass1Secs, tiny.Pass1Secs, huge.Pass1Secs)
+	}
+	if s := res.Table().String(); !strings.Contains(s, "packet(records)") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}

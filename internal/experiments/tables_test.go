@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+func TestCRatioShape(t *testing.T) {
+	opt := DefaultCRatioOptions()
+	opt.N = 1 << 15
+	opt.ASUs = []int{4, 16}
+	res, err := RunCRatio(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stronger ASUs (c=4) must beat weaker ones (c=8) at the same count
+	// while ASUs are the bottleneck.
+	c4, _ := res.Cell(4, 4)
+	c8, _ := res.Cell(8, 4)
+	if c4.Speedup <= c8.Speedup {
+		t.Errorf("c=4 speedup %.3f <= c=8 speedup %.3f at 4 ASUs", c4.Speedup, c8.Speedup)
+	}
+	// More ASUs help at both ratios.
+	c4b, _ := res.Cell(4, 16)
+	if c4b.Speedup <= c4.Speedup {
+		t.Errorf("c=4: speedup did not grow with ASUs: %.3f -> %.3f", c4.Speedup, c4b.Speedup)
+	}
+	if s := res.Table().String(); !strings.Contains(s, "speedup(c=4)") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}
+
+func TestGammaSweep(t *testing.T) {
+	opt := DefaultGammaOptions()
+	opt.N = 1 << 14
+	opt.Gamma2s = []int{2, 16}
+	res, err := RunGamma(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	small, big := res.Cells[0], res.Cells[1]
+	// Tiny gamma2 needs more local levels and more ASU work.
+	if small.MergeLevels <= big.MergeLevels {
+		t.Errorf("gamma2=2 levels %d <= gamma2=16 levels %d", small.MergeLevels, big.MergeLevels)
+	}
+	if small.ASUOps <= big.ASUOps {
+		t.Errorf("gamma2=2 ASU ops %.0f <= gamma2=16 %.0f", small.ASUOps, big.ASUOps)
+	}
+	if s := res.Table().String(); !strings.Contains(s, "gamma2") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}
+
+func TestRoutingAblation(t *testing.T) {
+	opt := DefaultRoutingOptions()
+	opt.N = 1 << 16
+	opt.Window = 25 * sim.Millisecond
+	res, err := RunRouting(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := map[string]RoutingCell{}
+	for _, c := range res.Cells {
+		cells[c.Policy] = c
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d policies", len(cells))
+	}
+	// Every dynamic policy must beat static on imbalance under skew.
+	for _, name := range []string{"round-robin", "sr", "load-aware"} {
+		if cells[name].Imbalance >= cells["static"].Imbalance {
+			t.Errorf("%s imbalance %.3f >= static %.3f",
+				name, cells[name].Imbalance, cells["static"].Imbalance)
+		}
+		if cells[name].Elapsed > cells["static"].Elapsed {
+			t.Errorf("%s slower than static: %v vs %v",
+				name, cells[name].Elapsed, cells["static"].Elapsed)
+		}
+	}
+	if s := res.Table().String(); !strings.Contains(s, "load-aware") {
+		t.Errorf("table malformed:\n%s", s)
+	}
+}

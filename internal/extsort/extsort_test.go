@@ -1,0 +1,152 @@
+package extsort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
+	"lmas/internal/records"
+)
+
+func testCluster(asus int) *cluster.Cluster {
+	p := cluster.DefaultParams()
+	p.Hosts, p.ASUs = 1, asus
+	return cluster.New(p)
+}
+
+func TestSortSmall(t *testing.T) {
+	cl := testCluster(2)
+	in := dsmsort.MakeInput(cl, 3000, records.Uniform{}, 1, 64)
+	res, err := Sort(cl, Config{MemRecords: 256, FanIn: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	wantRuns := (3000 + 255) / 256
+	if res.Runs != wantRuns {
+		t.Fatalf("runs = %d, want %d", res.Runs, wantRuns)
+	}
+	if res.MergePasses != PredictedPasses(3000, 256, 4) {
+		t.Fatalf("passes = %d, want %d", res.MergePasses, PredictedPasses(3000, 256, 4))
+	}
+}
+
+func TestSortSingleRunNoMerge(t *testing.T) {
+	cl := testCluster(2)
+	in := dsmsort.MakeInput(cl, 100, records.Uniform{}, 1, 32)
+	res, err := Sort(cl, Config{MemRecords: 256, FanIn: 4}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1 || res.MergePasses != 0 {
+		t.Fatalf("runs=%d passes=%d, want 1/0", res.Runs, res.MergePasses)
+	}
+}
+
+func TestSortSkewed(t *testing.T) {
+	cl := testCluster(3)
+	in := dsmsort.MakeInput(cl, 2000, records.Exponential{Mean: 0.05}, 1, 32)
+	if _, err := Sort(cl, Config{MemRecords: 128, FanIn: 3}, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictedPasses(t *testing.T) {
+	cases := []struct{ n, m, k, want int }{
+		{100, 200, 2, 0}, // one run
+		{1000, 100, 10, 1},
+		{1000, 10, 10, 2},
+		{1001, 10, 10, 3}, // 101 runs -> 11 -> 2 -> 1
+		{1000, 10, 2, 7},  // 100 runs, log2(100) = 6.6 -> 7
+	}
+	for _, c := range cases {
+		if got := PredictedPasses(c.n, c.m, c.k); got != c.want {
+			t.Errorf("PredictedPasses(%d,%d,%d) = %d, want %d", c.n, c.m, c.k, got, c.want)
+		}
+	}
+}
+
+func TestMorePassesWithSmallerFanIn(t *testing.T) {
+	elapsed := func(fanIn int) (float64, int) {
+		cl := testCluster(2)
+		in := dsmsort.MakeInput(cl, 4096, records.Uniform{}, 2, 64)
+		res, err := Sort(cl, Config{MemRecords: 64, FanIn: fanIn}, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds(), res.MergePasses
+	}
+	tSmall, pSmall := elapsed(2)
+	tBig, pBig := elapsed(16)
+	if pSmall <= pBig {
+		t.Fatalf("fan-in 2 passes %d <= fan-in 16 passes %d", pSmall, pBig)
+	}
+	if tSmall <= tBig {
+		t.Fatalf("fan-in 2 (%f s) not slower than fan-in 16 (%f s) despite %d vs %d passes",
+			tSmall, tBig, pSmall, pBig)
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	p := cluster.DefaultParams()
+	bad := []Config{
+		{MemRecords: 0, FanIn: 2},
+		{MemRecords: 16, FanIn: 1},
+		{MemRecords: p.HostMemRecords * 2, FanIn: 2},
+		{MemRecords: 4, FanIn: 8},
+	}
+	for i, c := range bad {
+		if err := c.Validate(p); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := (Config{MemRecords: 1024, FanIn: 8}).Validate(p); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// TestSortProperty: arbitrary sizes and configurations sort correctly
+// (Sort validates internally and errors on any corruption).
+func TestSortProperty(t *testing.T) {
+	f := func(nRaw uint16, memRaw, fanRaw, asuRaw uint8) bool {
+		n := int(nRaw%4000) + 10
+		mem := 32 << (memRaw % 4)
+		fan := 2 + int(fanRaw%6)
+		asus := 1 + int(asuRaw%4)
+		cl := testCluster(asus)
+		in := dsmsort.MakeInput(cl, n, records.Uniform{}, int64(nRaw), 32)
+		_, err := Sort(cl, Config{MemRecords: mem, FanIn: fan}, in)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSMSortBeatsExtsortWithManyASUs(t *testing.T) {
+	// With abundant ASUs the active DSM-Sort pipeline should finish the
+	// comparable workload no slower than the host-only external sort.
+	n := 1 << 14
+	clA := testCluster(16)
+	inA := dsmsort.MakeInput(clA, n, records.Uniform{}, 3, 64)
+	dres, err := dsmsort.Sort(clA, dsmsort.Config{
+		Alpha: 8, Beta: 64, Gamma2: 16, PacketRecords: 64,
+		Placement: dsmsort.Active, Seed: 3,
+	}, inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB := testCluster(16)
+	inB := dsmsort.MakeInput(clB, n, records.Uniform{}, 3, 64)
+	xres, err := Sort(clB, Config{MemRecords: 64, FanIn: 8}, inB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Elapsed > xres.Elapsed {
+		t.Fatalf("DSM-Sort %.4fs slower than extsort %.4fs with 16 ASUs",
+			dres.Elapsed.Seconds(), xres.Elapsed.Seconds())
+	}
+}

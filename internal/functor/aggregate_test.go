@@ -1,0 +1,84 @@
+package functor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lmas/internal/container"
+	"lmas/internal/records"
+)
+
+func TestAggregateCountsSumsMinMax(t *testing.T) {
+	agg := NewAggregate(2)
+	half := records.MaxKey/2 + 1
+	in := mkBuf(10, 20, half, half+5, 30)
+	out := runKernel(t, agg, container.NewPacket(in))
+	if len(out) != 2 {
+		t.Fatalf("%d summaries, want 2", len(out))
+	}
+	s0 := DecodeAgg(out[0].Buf.Record(0))
+	s1 := DecodeAgg(out[1].Buf.Record(0))
+	if s0.Bucket != 0 || s0.Count != 3 || s0.Sum != 60 || s0.Min != 10 || s0.Max != 30 {
+		t.Fatalf("bucket 0 summary %+v", s0)
+	}
+	if s1.Bucket != 1 || s1.Count != 2 || s1.Min != half || s1.Max != half+5 {
+		t.Fatalf("bucket 1 summary %+v", s1)
+	}
+}
+
+func TestAggregateEmptyBucketsOmitted(t *testing.T) {
+	out := runKernel(t, NewAggregate(16), container.NewPacket(mkBuf(1, 2, 3)))
+	if len(out) != 1 {
+		t.Fatalf("%d summaries for keys all in bucket 0", len(out))
+	}
+}
+
+// TestAggregateProperty: replicated aggregation merged with MergeAgg
+// equals single-instance aggregation, for any split of the input — the
+// commutativity/associativity that justifies replication.
+func TestAggregateProperty(t *testing.T) {
+	f := func(keys []uint32, splitRaw uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		split := int(splitRaw) % len(keys)
+		mk := func(ks []uint32) records.Buffer {
+			b := records.NewBuffer(len(ks), recSize)
+			for i, k := range ks {
+				b.SetKey(i, records.Key(k))
+			}
+			return b
+		}
+		collect := func(pks []container.Packet) map[int]AggSummary {
+			m := map[int]AggSummary{}
+			for _, pk := range pks {
+				s := DecodeAgg(pk.Buf.Record(0))
+				m[s.Bucket] = MergeAgg(m[s.Bucket], s)
+			}
+			return m
+		}
+		var tt testing.T
+		whole := collect(runKernel(&tt, NewAggregate(8), container.NewPacket(mk(keys))))
+		partA := runKernel(&tt, NewAggregate(8), container.NewPacket(mk(keys[:split])))
+		partB := runKernel(&tt, NewAggregate(8), container.NewPacket(mk(keys[split:])))
+		merged := collect(append(partA, partB...))
+		if len(whole) != len(merged) {
+			return false
+		}
+		for b, w := range whole {
+			if merged[b] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateCompares(t *testing.T) {
+	if got := NewAggregate(16).Compares(container.Packet{}); got != 6 {
+		t.Fatalf("compares = %v, want log2(16)+2", got)
+	}
+}

@@ -1,0 +1,226 @@
+package functor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lmas/internal/container"
+	"lmas/internal/records"
+)
+
+// log2 returns log2(n) clamped at zero, the per-record comparison count the
+// paper assigns to an n-way hierarchical operation ("log(parameter) is the
+// number of compares per key", Section 4.3).
+func log2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// Distribute is the α-way distribute functor of DSM-Sort step 1: it routes
+// each record to one of α output ports by binary search over key-range
+// splitters, costing ceil-ish log2(α) compares per record. It is an
+// ASU-eligible functor: bounded per-record cost, bounded state (the
+// splitters plus per-port staging).
+type Distribute struct {
+	Splitters []records.Key
+}
+
+// NewDistribute builds an α-way distribute over equal-width key ranges.
+func NewDistribute(alpha int) *Distribute {
+	return &Distribute{Splitters: records.Splitters(alpha)}
+}
+
+func (d *Distribute) Name() string { return fmt.Sprintf("distribute(%d)", len(d.Splitters)+1) }
+func (d *Distribute) Ports() int   { return len(d.Splitters) + 1 }
+func (d *Distribute) ComparesPerRecord() float64 {
+	return log2(len(d.Splitters) + 1)
+}
+
+func (d *Distribute) Process(rec []byte, emit func(port int, rec []byte)) {
+	k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+	emit(records.BucketOf(k, d.Splitters), rec)
+}
+
+func (d *Distribute) Flush(emit func(port int, rec []byte)) {}
+
+var _ Functor = (*Distribute)(nil)
+
+// Filter passes through records whose key satisfies Keep; a canonical
+// ASU-side reduction ("filtering and aggregation operations performed
+// directly at the ASUs can reduce data movement across the interconnect").
+type Filter struct {
+	Keep func(k records.Key) bool
+}
+
+func (f *Filter) Name() string               { return "filter" }
+func (f *Filter) Ports() int                 { return 1 }
+func (f *Filter) ComparesPerRecord() float64 { return 1 }
+func (f *Filter) Process(rec []byte, emit func(port int, rec []byte)) {
+	k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+	if f.Keep(k) {
+		emit(0, rec)
+	}
+}
+func (f *Filter) Flush(emit func(port int, rec []byte)) {}
+
+var _ Functor = (*Filter)(nil)
+
+// BlockSort is the "verified computation kernel" forming sorted runs: it
+// accumulates β records per bucket, sorts each full block with log2(β)
+// compares per record, and emits it as a packet marked sorted — the packet
+// mechanism of Figure 4 ("a sort functor which sorts groups of records and
+// uses packets to preserve the local order of sorted records").
+type BlockSort struct {
+	Beta    int // records per sorted run
+	RecSize int
+
+	blocks map[int]*records.Buffer // bucket -> partial block
+	fill   map[int]int
+	runSeq int
+}
+
+// NewBlockSort builds a run-formation kernel with run length beta.
+func NewBlockSort(beta, recSize int) *BlockSort {
+	if beta < 1 {
+		panic("functor: beta must be >= 1")
+	}
+	return &BlockSort{Beta: beta, RecSize: recSize}
+}
+
+func (b *BlockSort) Name() string { return fmt.Sprintf("blocksort(%d)", b.Beta) }
+
+func (b *BlockSort) Compares(pk container.Packet) float64 { return log2(b.Beta) }
+
+func (b *BlockSort) Process(ctx *Ctx, pk container.Packet, emit Emit) {
+	if b.blocks == nil {
+		b.blocks = make(map[int]*records.Buffer)
+		b.fill = make(map[int]int)
+	}
+	n := pk.Len()
+	bucket := pk.Bucket
+	for i := 0; i < n; i++ {
+		blk := b.blocks[bucket]
+		if blk == nil {
+			nb := records.NewBuffer(b.Beta, b.RecSize)
+			blk = &nb
+			b.blocks[bucket] = blk
+		}
+		copy(blk.Record(b.fill[bucket]), pk.Buf.Record(i))
+		b.fill[bucket]++
+		if b.fill[bucket] == b.Beta {
+			b.emitRun(bucket, emit)
+		}
+	}
+}
+
+func (b *BlockSort) Flush(ctx *Ctx, emit Emit) {
+	// Emit remaining partial blocks in bucket order for determinism.
+	buckets := make([]int, 0, len(b.fill))
+	for bk, f := range b.fill {
+		if f > 0 {
+			buckets = append(buckets, bk)
+		}
+	}
+	sort.Ints(buckets)
+	for _, bk := range buckets {
+		b.emitRun(bk, emit)
+	}
+}
+
+func (b *BlockSort) emitRun(bucket int, emit Emit) {
+	blk := b.blocks[bucket]
+	buf := blk.Slice(0, b.fill[bucket])
+	buf.Sort()
+	b.blocks[bucket] = nil
+	b.fill[bucket] = 0
+	b.runSeq++
+	emit(container.Packet{Buf: buf, Sorted: true, Bucket: bucket, Run: b.runSeq})
+}
+
+// ASUEligible: BlockSort is a prevalidated kernel primitive ("More complex
+// read/modify/write operations may be permitted in common, verified
+// computation kernels, e.g., for useful primitives such as sorting").
+func (b *BlockSort) ASUEligible() {}
+
+var _ Kernel = (*BlockSort)(nil)
+
+// Sink is a terminal kernel that hands every packet to a user function —
+// typically one that appends to a container on the instance's node,
+// incurring that node's storage costs.
+type Sink struct {
+	Label string
+	Fn    func(ctx *Ctx, pk container.Packet)
+	// ExtraCompares adds declared per-record cost (0 for raw block
+	// writes on conventional storage; collectors doing packet
+	// reassembly leave it 0 too and rely on the touch charge).
+	ExtraCompares float64
+}
+
+func (s *Sink) Name() string                         { return "sink:" + s.Label }
+func (s *Sink) Compares(pk container.Packet) float64 { return s.ExtraCompares }
+func (s *Sink) Process(ctx *Ctx, pk container.Packet, emit Emit) {
+	s.Fn(ctx, pk)
+}
+func (s *Sink) Flush(ctx *Ctx, emit Emit) {}
+
+// ASUEligible: sinks only move packets into local storage.
+func (s *Sink) ASUEligible() {}
+
+var _ Kernel = (*Sink)(nil)
+
+// Passthrough forwards packets unchanged at a declared cost; useful for
+// modelling pure forwarding hops and in tests.
+type Passthrough struct {
+	CostCompares float64
+}
+
+func (p *Passthrough) Name() string                         { return "passthrough" }
+func (p *Passthrough) Compares(pk container.Packet) float64 { return p.CostCompares }
+func (p *Passthrough) Process(ctx *Ctx, pk container.Packet, emit Emit) {
+	emit(pk)
+}
+func (p *Passthrough) Flush(ctx *Ctx, emit Emit) {}
+
+// ASUEligible: passthrough performs no computation beyond its declared
+// cost.
+func (p *Passthrough) ASUEligible() {}
+
+var _ Kernel = (*Passthrough)(nil)
+
+// FusedDistributeSort chains an α-way distribute directly into run
+// formation inside a single host stage: the conventional-storage baseline,
+// where all computation happens on the host in one pass over the data. Its
+// declared cost is log2(α) + log2(β) compares per record, the sum of the
+// two stages it fuses.
+type FusedDistributeSort struct {
+	dist *Distribute
+	sort *BlockSort
+}
+
+// NewFusedDistributeSort builds the baseline host kernel.
+func NewFusedDistributeSort(alpha, beta, recSize int) *FusedDistributeSort {
+	return &FusedDistributeSort{dist: NewDistribute(alpha), sort: NewBlockSort(beta, recSize)}
+}
+
+func (f *FusedDistributeSort) Name() string { return "fused-distribute-sort" }
+
+func (f *FusedDistributeSort) Compares(pk container.Packet) float64 {
+	return f.dist.ComparesPerRecord() + f.sort.Compares(pk)
+}
+
+func (f *FusedDistributeSort) Process(ctx *Ctx, pk container.Packet, emit Emit) {
+	n := pk.Len()
+	for i := 0; i < n; i++ {
+		rec := pk.Buf.Record(i)
+		k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
+		bucket := records.BucketOf(k, f.dist.Splitters)
+		f.sort.Process(ctx, container.Packet{Buf: pk.Buf.Slice(i, i+1), Bucket: bucket, Run: -1}, emit)
+	}
+}
+
+func (f *FusedDistributeSort) Flush(ctx *Ctx, emit Emit) { f.sort.Flush(ctx, emit) }
+
+var _ Kernel = (*FusedDistributeSort)(nil)

@@ -1,0 +1,147 @@
+package functor
+
+import (
+	"fmt"
+
+	"lmas/internal/cluster"
+	"lmas/internal/metrics"
+	"lmas/internal/sim"
+)
+
+// ProgressSample is one snapshot of a running pipeline: per-stage record
+// counts and per-node CPU utilization over the last interval. The paper's
+// emulator "is instrumented to report application progress, overall
+// runtime, and resource utilization for each host and ASU in the target
+// (emulated) system as the application executes" (Section 5); Monitor is
+// that instrument.
+type ProgressSample struct {
+	At sim.Time
+	// StageRecords maps stage name to cumulative records consumed.
+	StageRecords map[string]int64
+	// NodeUtil maps node name to CPU utilization over the last
+	// interval (0..1).
+	NodeUtil map[string]float64
+}
+
+// Monitor samples a pipeline at a fixed interval while it runs. Stage
+// progress is captured live; node utilization is derived from CPU traces
+// when the run completes (a hold is recorded when it ends, so reading the
+// traces afterwards sees every window fully).
+type Monitor struct {
+	Interval sim.Duration
+	Samples  []ProgressSample
+
+	traces    map[string]*metrics.UtilTrace
+	stopped   bool
+	finalized bool
+}
+
+// Stop ends sampling after the current interval (call it from a terminal
+// stage's Done hook, or leave it to fire automatically via AttachMonitor).
+func (m *Monitor) Stop() { m.stopped = true }
+
+// AttachMonitor starts sampling the pipeline every interval. It must be
+// called before Start. Sampling stops automatically when the pipeline's
+// terminal stages complete (every Terminal output gains a completion hook),
+// so the monitor never keeps the simulation alive.
+func (p *Pipeline) AttachMonitor(interval sim.Duration) *Monitor {
+	if p.started {
+		panic("functor: AttachMonitor after Start")
+	}
+	if interval <= 0 {
+		panic("functor: monitor interval must be positive")
+	}
+	m := &Monitor{Interval: interval}
+	// Chain the stop into every terminal stage's completion.
+	terminals := 0
+	for _, st := range p.stages {
+		if d, ok := st.out.(*Discard); ok {
+			terminals++
+			prev := d.Done
+			d.Done = func() {
+				if prev != nil {
+					prev()
+				}
+				m.Stop()
+			}
+		}
+	}
+	if terminals == 0 {
+		panic("functor: AttachMonitor needs at least one Terminal stage")
+	}
+	cl := p.cl
+	// Utilization comes from interval-aligned traces (which spread each
+	// CPU hold across the windows it covers); nodes without a trace from
+	// Params.UtilWindow get one attached here.
+	traces := map[string]*metrics.UtilTrace{}
+	for _, n := range cl.Nodes() {
+		if n.CPUTrace != nil && n.CPUTrace.Window == interval {
+			traces[n.Name] = n.CPUTrace
+			continue
+		}
+		tr := metrics.NewUtilTrace(n.Name+".monitor", interval)
+		n.CPU.SetRecorder(tr)
+		traces[n.Name] = tr
+	}
+	m.traces = traces
+	cl.Sim.Spawn("pipeline-monitor", func(proc *sim.Proc) {
+		for !m.stopped {
+			proc.Sleep(interval)
+			s := ProgressSample{
+				At:           proc.Now(),
+				StageRecords: map[string]int64{},
+			}
+			for _, st := range p.stages {
+				var recs int64
+				for _, inst := range st.instances {
+					recs += inst.RecordsIn
+				}
+				s.StageRecords[st.Name] = recs
+			}
+			m.Samples = append(m.Samples, s)
+		}
+	})
+	return m
+}
+
+// Finalize fills every sample's NodeUtil from the completed traces. It runs
+// automatically on first access through Table; call it directly when
+// reading Samples by hand after the run.
+func (m *Monitor) Finalize() {
+	if m.finalized {
+		return
+	}
+	m.finalized = true
+	for i := range m.Samples {
+		s := &m.Samples[i]
+		s.NodeUtil = map[string]float64{}
+		window := int(s.At/sim.Time(m.Interval)) - 1
+		for name, tr := range m.traces {
+			s.NodeUtil[name] = tr.At(window)
+		}
+	}
+}
+
+// Table renders progress for the named stages and nodes (order preserved).
+func (m *Monitor) Table(stages []string, nodes []*cluster.Node) *metrics.Table {
+	m.Finalize()
+	headers := []string{"t(s)"}
+	for _, s := range stages {
+		headers = append(headers, s)
+	}
+	for _, n := range nodes {
+		headers = append(headers, n.Name+" util")
+	}
+	t := metrics.NewTable("pipeline progress", headers...)
+	for _, s := range m.Samples {
+		row := []any{fmt.Sprintf("%.3f", s.At.Seconds())}
+		for _, st := range stages {
+			row = append(row, s.StageRecords[st])
+		}
+		for _, n := range nodes {
+			row = append(row, fmt.Sprintf("%.2f", s.NodeUtil[n.Name]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package functor
+
+import (
+	"strings"
+	"testing"
+
+	"lmas/internal/bte"
+	"lmas/internal/container"
+	"lmas/internal/records"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+)
+
+func TestMonitorSamplesProgress(t *testing.T) {
+	cl := testCluster(1, 2)
+	var sets []*container.Set
+	cl.Sim.Spawn("seed", func(p *sim.Proc) {
+		for i, asu := range cl.ASUs {
+			set := container.NewSet("in", bte.NewDisk(asu.Disk), recSize)
+			set.Add(p, container.NewPacket(records.Generate(4096, recSize, int64(i), records.Uniform{})))
+			sets = append(sets, set)
+		}
+	})
+	cl.Sim.Run()
+	pl := NewPipeline(cl)
+	dist := pl.AddStage("dist", cl.ASUs, func() Kernel { return Adapt(NewDistribute(8), recSize, 64) })
+	srt := pl.AddStage("sort", cl.Hosts, func() Kernel { return NewBlockSort(64, recSize) })
+	dist.ConnectTo(srt, &route.RoundRobin{})
+	srt.Terminal()
+	for i, set := range sets {
+		pl.AddSource("r", cl.ASUs[i], set.Scan(0, false), dist, fixed(i))
+	}
+	mon := pl.AttachMonitor(sim.Millisecond)
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mon.Samples) < 2 {
+		t.Fatalf("only %d samples", len(mon.Samples))
+	}
+	// Stage counters must be monotone and end at the full input.
+	prev := int64(-1)
+	for _, s := range mon.Samples {
+		if s.StageRecords["sort"] < prev {
+			t.Fatal("stage records regressed")
+		}
+		prev = s.StageRecords["sort"]
+	}
+	if last := mon.Samples[len(mon.Samples)-1].StageRecords["dist"]; last != 8192 {
+		t.Fatalf("final dist records %d, want 8192", last)
+	}
+	// Utilization must be within [0,1] and nonzero somewhere.
+	mon.Finalize()
+	sawBusy := false
+	for _, s := range mon.Samples {
+		for name, u := range s.NodeUtil {
+			if u < -1e-9 || u > 1+1e-9 {
+				t.Fatalf("util %s = %v out of range", name, u)
+			}
+			if u > 0.5 {
+				sawBusy = true
+			}
+		}
+	}
+	if !sawBusy {
+		t.Fatal("no node ever busy; sampling broken")
+	}
+	// The table renders.
+	tab := mon.Table([]string{"dist", "sort"}, cl.Nodes()[:2]).String()
+	if !strings.Contains(tab, "dist") || !strings.Contains(tab, "util") {
+		t.Fatalf("table malformed:\n%s", tab)
+	}
+}
+
+func TestMonitorStopsWithPipeline(t *testing.T) {
+	// The sim must drain (no eternal monitor): Run returning without a
+	// deadlock error is the assertion.
+	cl := testCluster(1, 1)
+	var set *container.Set
+	cl.Sim.Spawn("seed", func(p *sim.Proc) {
+		set = container.NewSet("in", bte.NewMemory(), recSize)
+		set.Add(p, container.NewPacket(mkBuf(1, 2, 3)))
+	})
+	cl.Sim.Run()
+	pl := NewPipeline(cl)
+	st := pl.AddStage("s", cl.Hosts, func() Kernel { return &Passthrough{} })
+	st.Terminal()
+	pl.AddSource("r", cl.ASUs[0], set.Scan(0, false), st, &route.RoundRobin{})
+	pl.AttachMonitor(10 * sim.Millisecond)
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachMonitorValidation(t *testing.T) {
+	cl := testCluster(1, 1)
+	pl := NewPipeline(cl)
+	st := pl.AddStage("s", cl.Hosts, func() Kernel { return &Passthrough{} })
+	st.Terminal()
+	for _, fn := range []func(){
+		func() { pl.AttachMonitor(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

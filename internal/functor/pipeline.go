@@ -1,0 +1,396 @@
+package functor
+
+import (
+	"fmt"
+
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+)
+
+// DefaultInboxPackets bounds each instance's input queue; the bound models
+// limited buffer memory and provides the backpressure that propagates load
+// imbalances upstream.
+const DefaultInboxPackets = 8
+
+// packetHeaderBytes approximates per-message framing on the interconnect.
+const packetHeaderBytes = 64
+
+// Instance is one placed copy of a stage's kernel: a proc pinned to a node,
+// consuming packets from its inbox.
+type Instance struct {
+	Stage *Stage
+	Node  *cluster.Node
+	Index int
+	In    *sim.Queue[container.Packet]
+
+	// out is the instance's bounded send buffer: the kernel emits into
+	// it and a courier proc drains it through the stage's output,
+	// overlapping computation with network transfer (send-side DMA).
+	// Backpressure still propagates: a full outbox blocks the kernel.
+	out *sim.Queue[container.Packet]
+
+	kernel Kernel
+
+	// Stats.
+	PacketsIn, RecordsIn   int64
+	PacketsOut, RecordsOut int64
+	OpsCharged             float64
+}
+
+// Label identifies the instance for routing diagnostics.
+func (in *Instance) Label() string {
+	return fmt.Sprintf("%s#%d@%s", in.Stage.Name, in.Index, in.Node.Name)
+}
+
+// Pending reports the instance's queued backlog (route.Endpoint).
+func (in *Instance) Pending() int { return in.In.Len() }
+
+var _ route.Endpoint = (*Instance)(nil)
+
+// Stage is a replicated computation step: one kernel instance per placement
+// node. "Load management may... adjust the number of functor instances for
+// a computation stage... or adjust the assignment of functor instances to
+// host nodes or ASUs" (Section 3.3) — in this runtime, by choosing Nodes.
+type Stage struct {
+	Name  string
+	Nodes []*cluster.Node
+	// NewKernel builds one kernel per instance (instances hold private
+	// bounded state).
+	NewKernel func() Kernel
+	// InboxPackets bounds each instance's input queue (0 = default).
+	InboxPackets int
+	// NoCPU marks a stage that spends no processor time: conventional
+	// (non-active) storage whose transfers are pure DMA. Declared kernel
+	// costs and touch charges are skipped; only I/O performed by the
+	// kernel (disk, network) takes virtual time.
+	NoCPU bool
+
+	pipeline  *Pipeline
+	out       output
+	instances []*Instance
+	producers int // input producers not yet finished
+	started   bool
+}
+
+// Instances returns the stage's placed instances (valid after Start).
+func (st *Stage) Instances() []*Instance { return st.instances }
+
+// output receives packets produced by a stage or source.
+type output interface {
+	deliver(ctx *Ctx, pk container.Packet)
+	producerDone(ctx *Ctx)
+	addProducer(n int)
+}
+
+// Edge routes packets from producers to the instances of a destination
+// stage under a routing policy, charging the interconnect for cross-node
+// hops. When every producer has finished, the destination inboxes close.
+type Edge struct {
+	to     *Stage
+	policy route.Policy
+
+	eps []route.Endpoint
+
+	// Stats.
+	Packets, Records int64
+	NetBytes         int64
+	CrossNode        int64
+}
+
+func (e *Edge) deliver(ctx *Ctx, pk container.Packet) {
+	if len(e.eps) == 0 {
+		panic("functor: edge delivered before Start")
+	}
+	info := route.PacketInfo{Bucket: pk.Bucket, Records: pk.Len()}
+	dest := e.to.instances[e.policy.Pick(info, e.eps)]
+	if dest.Node != ctx.Node {
+		size := pk.Bytes() + packetHeaderBytes
+		ctx.Cluster.Net.Stream(ctx.Proc, ctx.Node.NIC, dest.Node.NIC, size)
+		e.NetBytes += int64(size)
+		e.CrossNode++
+	}
+	e.Packets++
+	e.Records += int64(pk.Len())
+	if err := dest.In.Put(ctx.Proc, pk); err != nil {
+		panic(fmt.Sprintf("functor: deliver to closed inbox %s", dest.Label()))
+	}
+}
+
+// SetPolicy replaces the edge's routing policy. Safe to call from any proc
+// or event while the pipeline runs (the simulation is single-threaded);
+// this is the lever mid-run load management pulls when it detects an
+// imbalance.
+func (e *Edge) SetPolicy(p route.Policy) { e.policy = p }
+
+// Policy reports the edge's current routing policy.
+func (e *Edge) Policy() route.Policy { return e.policy }
+
+func (e *Edge) producerDone(ctx *Ctx) {
+	st := e.to
+	st.producers--
+	if st.producers < 0 {
+		panic("functor: too many producerDone on stage " + st.Name)
+	}
+	if st.producers == 0 {
+		for _, in := range st.instances {
+			in.In.Close()
+		}
+	}
+}
+
+func (e *Edge) addProducer(n int) { e.to.producers += n }
+
+// Discard is an output that drops packets; terminal stages whose kernels
+// perform their own side effects (e.g. writing containers) use it.
+type Discard struct {
+	Packets, Records int64
+	// Done, if set, runs (in scheduler context) when the terminal
+	// stage's last instance finishes — the pipeline-completion hook that
+	// lets co-resident workloads (e.g. foreground storage clients in the
+	// isolation experiments) wind down.
+	Done func()
+
+	producers int
+}
+
+func (d *Discard) deliver(ctx *Ctx, pk container.Packet) {
+	d.Packets++
+	d.Records += int64(pk.Len())
+}
+
+func (d *Discard) producerDone(ctx *Ctx) {
+	d.producers--
+	if d.producers == 0 && d.Done != nil {
+		d.Done()
+	}
+}
+
+func (d *Discard) addProducer(n int) { d.producers += n }
+
+// Pipeline assembles sources, stages and edges on a cluster and runs them
+// to completion in virtual time.
+type Pipeline struct {
+	cl      *cluster.Cluster
+	stages  []*Stage
+	sources []*source
+	started bool
+}
+
+// NewPipeline creates an empty pipeline on cl.
+func NewPipeline(cl *cluster.Cluster) *Pipeline {
+	return &Pipeline{cl: cl}
+}
+
+// Cluster returns the pipeline's cluster.
+func (p *Pipeline) Cluster() *cluster.Cluster { return p.cl }
+
+// Stages returns the declared stages in declaration order.
+func (p *Pipeline) Stages() []*Stage { return p.stages }
+
+// AddStage declares a stage replicated across nodes. Connect its output
+// with ConnectTo or LeaveTerminal before Start.
+func (p *Pipeline) AddStage(name string, nodes []*cluster.Node, newKernel func() Kernel) *Stage {
+	if len(nodes) == 0 {
+		panic("functor: stage " + name + " has no placement nodes")
+	}
+	st := &Stage{Name: name, Nodes: nodes, NewKernel: newKernel, pipeline: p}
+	p.stages = append(p.stages, st)
+	return st
+}
+
+// ConnectTo routes st's output to stage to under policy.
+func (st *Stage) ConnectTo(to *Stage, policy route.Policy) *Edge {
+	e := &Edge{to: to, policy: policy}
+	st.setOut(e)
+	return e
+}
+
+// Terminal marks st as a final stage; emitted packets are counted and
+// dropped (the kernel is expected to produce side effects itself).
+func (st *Stage) Terminal() *Discard {
+	d := &Discard{}
+	st.setOut(d)
+	return d
+}
+
+func (st *Stage) setOut(o output) {
+	if st.out != nil {
+		panic("functor: stage " + st.Name + " output set twice")
+	}
+	st.out = o
+}
+
+// source feeds a container scan into an edge from a given node.
+type source struct {
+	name string
+	node *cluster.Node
+	scan *container.Scan
+	out  output
+}
+
+// AddSource spawns a reader on node that scans sc and routes every packet
+// into to under policy. The scan's I/O costs are charged as the read
+// proceeds; the reader spends no CPU (data moves by DMA), matching the
+// conventional-storage reading path.
+func (p *Pipeline) AddSource(name string, node *cluster.Node, sc *container.Scan, to *Stage, policy route.Policy) {
+	// Sources into the same stage share one edge per source for stats
+	// simplicity; each source is one producer.
+	e := &Edge{to: to, policy: policy}
+	p.sources = append(p.sources, &source{name: name, node: node, scan: sc, out: e})
+}
+
+// Start places instances and spawns all procs. The caller then runs the
+// cluster's simulator; when it drains, the pipeline has completed.
+func (p *Pipeline) Start() {
+	if p.started {
+		panic("functor: pipeline started twice")
+	}
+	p.started = true
+	// Materialize instances.
+	for _, st := range p.stages {
+		if st.out == nil {
+			panic("functor: stage " + st.Name + " has no output; call ConnectTo or Terminal")
+		}
+		cap := st.InboxPackets
+		if cap <= 0 {
+			cap = DefaultInboxPackets
+		}
+		for i, n := range st.Nodes {
+			inst := &Instance{
+				Stage: st,
+				Node:  n,
+				Index: i,
+				In:    sim.NewQueue[container.Packet](p.cl.Sim, fmt.Sprintf("%s#%d.in", st.Name, i), cap),
+			}
+			inst.kernel = st.NewKernel()
+			// ASUs are shared infrastructure: only prevalidated
+			// kernels may run there (Section 3.1's constraint, and
+			// the basis for the isolation guarantees).
+			if n.Kind == cluster.ASU {
+				if _, ok := inst.kernel.(ASUEligible); !ok {
+					panic(fmt.Sprintf(
+						"functor: kernel %q is not ASU-eligible but stage %s places it on %s",
+						inst.kernel.Name(), st.Name, n.Name))
+				}
+			}
+			st.instances = append(st.instances, inst)
+		}
+	}
+	// Resolve edge endpoints and producer counts.
+	for _, st := range p.stages {
+		if e, ok := st.out.(*Edge); ok {
+			e.resolve()
+		}
+		st.out.addProducer(len(st.instances))
+	}
+	for _, src := range p.sources {
+		e := src.out.(*Edge)
+		e.resolve()
+		e.addProducer(1)
+	}
+	// Spawn. Every producer (source or instance) gets a courier that
+	// drains its outbox through the stage output, so transfers overlap
+	// with reading and computing.
+	for i, src := range p.sources {
+		src := src
+		outbox := sim.NewQueue[container.Packet](p.cl.Sim, fmt.Sprintf("%s.out", src.name), outboxPackets)
+		p.cl.Sim.Spawn(src.name, func(proc *sim.Proc) {
+			for {
+				pk, ok := src.scan.Next(proc)
+				if !ok {
+					break
+				}
+				if err := outbox.Put(proc, pk); err != nil {
+					panic(err)
+				}
+			}
+			outbox.Close()
+		})
+		p.spawnCourier(fmt.Sprintf("%s.courier%d", src.name, i), src.node, outbox, src.out)
+	}
+	for _, st := range p.stages {
+		for _, inst := range st.instances {
+			inst := inst
+			inst.out = sim.NewQueue[container.Packet](p.cl.Sim, inst.Label()+".out", outboxPackets)
+			p.cl.Sim.Spawn(inst.Label(), func(proc *sim.Proc) { inst.run(proc) })
+			p.spawnCourier(inst.Label()+".courier", inst.Node, inst.out, st.out)
+		}
+	}
+}
+
+// outboxPackets bounds each producer's send buffer.
+const outboxPackets = 4
+
+// spawnCourier moves packets from outbox into out, charging transfer costs
+// on the producing node's interface; it signals producerDone when the
+// outbox closes and drains.
+func (p *Pipeline) spawnCourier(name string, node *cluster.Node, outbox *sim.Queue[container.Packet], out output) {
+	ctx := &Ctx{Cluster: p.cl, Node: node}
+	p.cl.Sim.Spawn(name, func(proc *sim.Proc) {
+		ctx.Proc = proc
+		for {
+			pk, ok := outbox.Get(proc)
+			if !ok {
+				break
+			}
+			out.deliver(ctx, pk)
+		}
+		out.producerDone(ctx)
+	})
+}
+
+func (e *Edge) resolve() {
+	if e.eps != nil {
+		return
+	}
+	for _, in := range e.to.instances {
+		e.eps = append(e.eps, in)
+	}
+	if len(e.eps) == 0 {
+		panic("functor: edge to stage " + e.to.Name + " with no instances")
+	}
+}
+
+// run is an instance's main loop: charge the node for each packet's
+// declared cost, process it, and flush at end of input.
+func (in *Instance) run(proc *sim.Proc) {
+	ctx := &Ctx{Cluster: in.Stage.pipeline.cl, Node: in.Node, Proc: proc, Instance: in}
+	cm := ctx.Cluster.Params.Costs
+	touch := ctx.Cluster.Touch(in.Node)
+	emit := func(pk container.Packet) {
+		in.PacketsOut++
+		in.RecordsOut += int64(pk.Len())
+		if err := in.out.Put(proc, pk); err != nil {
+			panic(err)
+		}
+	}
+	for {
+		pk, ok := in.In.Get(proc)
+		if !ok {
+			break
+		}
+		in.PacketsIn++
+		in.RecordsIn += int64(pk.Len())
+		if !in.Stage.NoCPU {
+			ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
+			in.OpsCharged += ops
+			in.Node.Compute(proc, ops)
+		}
+		in.kernel.Process(ctx, pk, emit)
+	}
+	in.kernel.Flush(ctx, emit)
+	in.out.Close() // the courier signals producerDone after draining
+}
+
+// Run is a convenience: Start the pipeline and run the simulator to
+// completion, returning the elapsed virtual time.
+func (p *Pipeline) Run() (sim.Duration, error) {
+	start := p.cl.Sim.Now()
+	p.Start()
+	if err := p.cl.Sim.Run(); err != nil {
+		return 0, err
+	}
+	return sim.Duration(p.cl.Sim.Now() - start), nil
+}

@@ -1,0 +1,74 @@
+package loadmgr
+
+import (
+	"lmas/internal/cluster"
+	"lmas/internal/sim"
+)
+
+// ImbalanceWatch monitors a set of nodes' CPUs during a run and invokes a
+// callback when their utilizations diverge persistently — the runtime
+// detection half of "the routing of records across functor instances may
+// be responsive to dynamic load conditions visible to the system"
+// (Section 3.3). The paper's Figure 10 applies load management from the
+// start; the watch enables the stronger form, switching policy mid-run
+// when skew actually materializes.
+type ImbalanceWatch struct {
+	// Window is the sampling period.
+	Window sim.Duration
+	// Threshold is the utilization spread (0..1) that counts as
+	// imbalanced.
+	Threshold float64
+	// Consecutive is how many imbalanced windows in a row trigger the
+	// callback.
+	Consecutive int
+
+	// FiredAt records when the callback ran (zero if never).
+	FiredAt sim.Time
+	fired   bool
+}
+
+// Spawn starts the watch over nodes on cl's simulator. The watch samples
+// each window; after Consecutive imbalanced windows it calls onImbalance
+// once and exits. It also exits silently when *stop becomes true (set it
+// from a pipeline-completion hook), so it never deadlocks the simulation.
+func (w *ImbalanceWatch) Spawn(cl *cluster.Cluster, nodes []*cluster.Node, stop *bool, onImbalance func()) {
+	if w.Window <= 0 || w.Threshold <= 0 || w.Consecutive < 1 {
+		panic("loadmgr: ImbalanceWatch needs positive Window, Threshold, Consecutive")
+	}
+	prev := make([]sim.Duration, len(nodes))
+	cl.Sim.Spawn("imbalance-watch", func(p *sim.Proc) {
+		streak := 0
+		for {
+			p.Sleep(w.Window)
+			if *stop {
+				return
+			}
+			lo, hi := 1.0, 0.0
+			for i, n := range nodes {
+				busy := n.CPU.Busy()
+				util := float64(busy-prev[i]) / float64(w.Window)
+				prev[i] = busy
+				if util < lo {
+					lo = util
+				}
+				if util > hi {
+					hi = util
+				}
+			}
+			if hi-lo > w.Threshold {
+				streak++
+			} else {
+				streak = 0
+			}
+			if streak >= w.Consecutive {
+				w.fired = true
+				w.FiredAt = p.Now()
+				onImbalance()
+				return
+			}
+		}
+	})
+}
+
+// Fired reports whether the watch triggered.
+func (w *ImbalanceWatch) Fired() bool { return w.fired }

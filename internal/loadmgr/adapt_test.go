@@ -1,0 +1,103 @@
+package loadmgr
+
+import (
+	"testing"
+
+	"lmas/internal/cluster"
+	"lmas/internal/sim"
+)
+
+func watchCluster() *cluster.Cluster {
+	p := cluster.DefaultParams()
+	p.Hosts = 2
+	return cluster.New(p)
+}
+
+func TestWatchFiresOnSustainedImbalance(t *testing.T) {
+	cl := watchCluster()
+	w := &ImbalanceWatch{Window: 10 * sim.Millisecond, Threshold: 0.5, Consecutive: 3}
+	stop := false
+	fired := false
+	w.Spawn(cl, cl.Hosts, &stop, func() { fired = true })
+	// Host 0 computes flat out for 100 ms; host 1 idles.
+	cl.Sim.Spawn("busy", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			cl.Hosts[0].Compute(p, cl.Hosts[0].OpsPerSec/1000) // 1 ms slices
+		}
+		stop = true
+	})
+	if err := cl.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || !w.Fired() {
+		t.Fatal("watch did not fire under sustained imbalance")
+	}
+	// Needs Consecutive windows: not before 3 windows have passed.
+	if w.FiredAt < sim.Time(30*sim.Millisecond) {
+		t.Fatalf("fired at %v, before 3 windows elapsed", w.FiredAt)
+	}
+}
+
+func TestWatchIgnoresTransients(t *testing.T) {
+	cl := watchCluster()
+	w := &ImbalanceWatch{Window: 10 * sim.Millisecond, Threshold: 0.5, Consecutive: 3}
+	stop := false
+	w.Spawn(cl, cl.Hosts, &stop, func() {})
+	// Alternate: one imbalanced window, one balanced — never 3 in a row.
+	cl.Sim.Spawn("alternating", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if i%2 == 0 {
+				cl.Hosts[0].Compute(p, cl.Hosts[0].OpsPerSec/100) // 10 ms on host0
+			} else {
+				// Both hosts equally busy: balanced window.
+				cl.Hosts[0].Compute(p, cl.Hosts[0].OpsPerSec/200)
+				cl.Hosts[1].Compute(p, cl.Hosts[1].OpsPerSec/200)
+			}
+		}
+		stop = true
+	})
+	if err := cl.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Fired() {
+		t.Fatalf("watch fired at %v on alternating load", w.FiredAt)
+	}
+}
+
+func TestWatchStopsViaFlag(t *testing.T) {
+	cl := watchCluster()
+	w := &ImbalanceWatch{Window: sim.Millisecond, Threshold: 0.5, Consecutive: 1000}
+	stop := false
+	w.Spawn(cl, cl.Hosts, &stop, func() {})
+	cl.Sim.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		stop = true
+	})
+	// Run must drain without deadlock: the watch exits on the flag.
+	if err := cl.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Fired() {
+		t.Fatal("watch fired spuriously")
+	}
+}
+
+func TestWatchValidatesParams(t *testing.T) {
+	cl := watchCluster()
+	stop := false
+	bad := []*ImbalanceWatch{
+		{Window: 0, Threshold: 0.5, Consecutive: 1},
+		{Window: sim.Millisecond, Threshold: 0, Consecutive: 1},
+		{Window: sim.Millisecond, Threshold: 0.5, Consecutive: 0},
+	}
+	for i, w := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			w.Spawn(cl, cl.Hosts, &stop, func() {})
+		}()
+	}
+}

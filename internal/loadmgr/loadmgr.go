@@ -1,0 +1,165 @@
+// Package loadmgr implements system-level load management for active
+// storage (Section 3.3): predicting the effect of offloading computation to
+// ASUs so the system can "configure the application to match hardware
+// capabilities and load conditions", and choosing configurations
+// adaptively. The dynamic record-routing half of load management lives in
+// package route; this package covers the configuration half — "the system
+// can adjust the computation to the degree of parallelism available, even
+// when that parallelism is asymmetric".
+package loadmgr
+
+import (
+	"math"
+
+	"lmas/internal/cluster"
+	"lmas/internal/metrics"
+)
+
+// Pass1Model predicts the throughput of DSM-Sort's run-formation pass from
+// the cluster parameters and cost model — the analytic counterpart of the
+// emulation, used to pick configurations without running them. The bounds
+// on functor cost that the programming model exposes ("known bounds on
+// functor computation cost per unit of I/O") are exactly what makes this
+// prediction possible.
+type Pass1Model struct {
+	Params cluster.Params
+}
+
+func log2f(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// ActiveRate predicts records/second for the active placement: distribute
+// and collect on the ASUs, block sort on the hosts.
+func (m Pass1Model) ActiveRate(alpha, beta int) float64 {
+	p := m.Params
+	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
+	touchA := p.Costs.Touch(cluster.ASU, p.RecordSize)
+	asuOps := p.HostOpsPerSec / p.C
+	// Per-record ASU work: distribute (touch + log2 alpha compares) plus
+	// run collection (touch).
+	asuPerRec := (touchA + log2f(alpha)*p.Costs.CompareOps) + touchA
+	// Per-record host work: block sort.
+	hostPerRec := touchH + log2f(beta)*p.Costs.CompareOps
+	stages := []float64{
+		float64(p.ASUs) * asuOps / asuPerRec,
+		float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
+		m.diskRate(),
+		m.netRate(),
+	}
+	return minRate(stages)
+}
+
+// ConventionalRate predicts records/second for the baseline placement:
+// everything fused on the hosts, dumb storage streaming raw blocks.
+func (m Pass1Model) ConventionalRate(alpha, beta int) float64 {
+	p := m.Params
+	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
+	hostPerRec := touchH + (log2f(alpha)+log2f(beta))*p.Costs.CompareOps
+	stages := []float64{
+		float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
+		m.diskRate(),
+		m.netRate(),
+	}
+	return minRate(stages)
+}
+
+// diskRate is the aggregate storage streaming rate in records/second; the
+// data makes a read and a write pass, halving effective throughput.
+func (m Pass1Model) diskRate() float64 {
+	p := m.Params
+	return float64(p.ASUs) * p.DiskRate / float64(p.RecordSize) / 2
+}
+
+// netRate bounds throughput by the host interfaces, which every record
+// crosses twice (in to sort, out to collect).
+func (m Pass1Model) netRate() float64 {
+	p := m.Params
+	return float64(p.Hosts) * p.NetBandwidth / float64(p.RecordSize) / 2
+}
+
+// PredictSpeedup is the predicted Figure 9 value for one configuration.
+func (m Pass1Model) PredictSpeedup(alpha, beta int) float64 {
+	return m.ActiveRate(alpha, beta) / m.ConventionalRate(alpha, beta)
+}
+
+func minRate(rates []float64) float64 {
+	min := rates[0]
+	for _, r := range rates[1:] {
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// ChooseAlpha picks the candidate distribute order with the best predicted
+// active-placement speedup — the "adaptive" series of Figure 9, where the
+// system "configure[s] the application to balance load and make the best
+// use of available processing power". Ties go to the smaller alpha (less
+// ASU buffer pressure).
+func ChooseAlpha(p cluster.Params, candidates []int, beta int) int {
+	if len(candidates) == 0 {
+		panic("loadmgr: no alpha candidates")
+	}
+	m := Pass1Model{Params: p}
+	best, bestSp := candidates[0], math.Inf(-1)
+	for _, a := range candidates {
+		sp := m.PredictSpeedup(a, beta)
+		if sp > bestSp+1e-12 {
+			best, bestSp = a, sp
+		}
+	}
+	return best
+}
+
+// SaturationASUs predicts the number of ASUs at which the hosts saturate
+// for a given configuration: beyond this point adding ASUs stops helping
+// ("This experiment uses one host, which saturates at 16 ASUs").
+func SaturationASUs(p cluster.Params, alpha, beta int) int {
+	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
+	touchA := p.Costs.Touch(cluster.ASU, p.RecordSize)
+	asuOps := p.HostOpsPerSec / p.C
+	asuPerRec := (touchA + log2f(alpha)*p.Costs.CompareOps) + touchA
+	hostRate := float64(p.Hosts) * p.HostOpsPerSec / (touchH + log2f(beta)*p.Costs.CompareOps)
+	perASU := asuOps / asuPerRec
+	return int(math.Ceil(hostRate / perASU))
+}
+
+// Imbalance summarizes how unevenly a set of utilization traces loaded
+// their nodes: the mean absolute utilization spread across the first n
+// windows (n <= 0 means the longest trace). Zero means perfectly balanced —
+// the load-managed ideal of Figure 10.
+func Imbalance(traces []*metrics.UtilTrace, n int) float64 {
+	if len(traces) < 2 {
+		return 0
+	}
+	if n <= 0 {
+		for _, tr := range traces {
+			if tr.Len() > n {
+				n = tr.Len()
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for w := 0; w < n; w++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, tr := range traces {
+			u := tr.At(w)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		total += hi - lo
+	}
+	return total / float64(n)
+}

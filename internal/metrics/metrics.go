@@ -1,0 +1,226 @@
+// Package metrics collects utilization traces and counters from emulated
+// resources and formats experiment results as tables and time series.
+//
+// The paper's emulator "is instrumented to report application progress,
+// overall runtime, and resource utilization for each host and ASU in the
+// target (emulated) system" (Section 5); this package is that
+// instrumentation layer. Figure 10 is a utilization-versus-time plot
+// produced from exactly this kind of trace.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lmas/internal/sim"
+)
+
+// UtilTrace aggregates resource busy intervals into fixed-width windows so
+// utilization can be reported as a time series. It implements
+// sim.BusyRecorder.
+type UtilTrace struct {
+	Name    string
+	Window  sim.Duration
+	buckets []sim.Duration // busy time per window
+}
+
+// NewUtilTrace creates a trace with the given window width.
+func NewUtilTrace(name string, window sim.Duration) *UtilTrace {
+	if window <= 0 {
+		panic("metrics: window must be positive")
+	}
+	return &UtilTrace{Name: name, Window: window}
+}
+
+// RecordBusy adds the busy interval [from, to) to the trace.
+func (u *UtilTrace) RecordBusy(from, to sim.Time) {
+	if to <= from {
+		return
+	}
+	first := int(from / sim.Time(u.Window))
+	last := int((to - 1) / sim.Time(u.Window))
+	for len(u.buckets) <= last {
+		u.buckets = append(u.buckets, 0)
+	}
+	for b := first; b <= last; b++ {
+		winStart := sim.Time(b) * sim.Time(u.Window)
+		winEnd := winStart + sim.Time(u.Window)
+		lo, hi := from, to
+		if lo < winStart {
+			lo = winStart
+		}
+		if hi > winEnd {
+			hi = winEnd
+		}
+		u.buckets[b] += sim.Duration(hi - lo)
+	}
+}
+
+// Len reports the number of windows with any recorded activity span.
+func (u *UtilTrace) Len() int { return len(u.buckets) }
+
+// At reports the utilization (0..1) of window i.
+func (u *UtilTrace) At(i int) float64 {
+	if i < 0 || i >= len(u.buckets) {
+		return 0
+	}
+	return float64(u.buckets[i]) / float64(u.Window)
+}
+
+// Series returns (time-in-seconds, utilization) points, one per window,
+// timestamped at the window's end.
+func (u *UtilTrace) Series() (ts, util []float64) {
+	ts = make([]float64, len(u.buckets))
+	util = make([]float64, len(u.buckets))
+	for i := range u.buckets {
+		ts[i] = (sim.Duration(i+1) * u.Window).Seconds()
+		util[i] = u.At(i)
+	}
+	return ts, util
+}
+
+// Mean reports the average utilization over windows [0, n); n <= 0 means all
+// recorded windows.
+func (u *UtilTrace) Mean(n int) float64 {
+	if n <= 0 || n > len(u.buckets) {
+		n = len(u.buckets)
+	}
+	if n == 0 {
+		return 0
+	}
+	var total sim.Duration
+	for _, b := range u.buckets[:n] {
+		total += b
+	}
+	return float64(total) / float64(sim.Duration(n)*u.Window)
+}
+
+var _ sim.BusyRecorder = (*UtilTrace)(nil)
+
+// Table is a simple column-aligned results table, used by every experiment
+// harness to print paper-style rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Percentile reports the q'th percentile (0..100) of samples, by nearest
+// rank over a sorted copy. It returns 0 for an empty slice.
+func Percentile(samples []sim.Duration, q float64) sim.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]sim.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(q/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Counters is a named set of monotonically increasing counters.
+type Counters struct {
+	m map[string]int64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta int64) { c.m[name] += delta }
+
+// Get reports the value of counter name (zero if never incremented).
+func (c *Counters) Get(name string) int64 { return c.m[name] }
+
+// Names reports all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for n := range c.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	var parts []string
+	for _, n := range c.Names() {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, c.m[n]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lmas/internal/sim"
+)
+
+func TestUtilTraceSingleWindow(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	u.RecordBusy(0, sim.Time(sim.Second/2))
+	if got := u.At(0); got != 0.5 {
+		t.Fatalf("At(0) = %v, want 0.5", got)
+	}
+}
+
+func TestUtilTraceSpanningWindows(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	// Busy from 0.5s to 2.5s: windows get 0.5, 1.0, 0.5.
+	u.RecordBusy(sim.Time(500*sim.Millisecond), sim.Time(2500*sim.Millisecond))
+	want := []float64{0.5, 1.0, 0.5}
+	for i, w := range want {
+		if got := u.At(i); math.Abs(got-w) > 1e-9 {
+			t.Fatalf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if u.Len() != 3 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+}
+
+func TestUtilTraceAccumulates(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	u.RecordBusy(0, sim.Time(250*sim.Millisecond))
+	u.RecordBusy(sim.Time(500*sim.Millisecond), sim.Time(750*sim.Millisecond))
+	if got := u.At(0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("At(0) = %v, want 0.5", got)
+	}
+}
+
+func TestUtilTraceEmptyAndOutOfRange(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	if u.At(0) != 0 || u.At(-1) != 0 || u.At(100) != 0 {
+		t.Fatal("empty trace must report zero everywhere")
+	}
+	u.RecordBusy(5, 5) // zero-length interval ignored
+	if u.Len() != 0 {
+		t.Fatal("zero-length interval recorded")
+	}
+}
+
+func TestUtilTraceMean(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	u.RecordBusy(0, sim.Time(sim.Second))                      // window 0: 1.0
+	u.RecordBusy(sim.Time(sim.Second), sim.Time(3*sim.Second)) // windows 1,2: 1.0 each... adjust
+	if got := u.Mean(0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Mean = %v, want 1.0", got)
+	}
+	u2 := NewUtilTrace("cpu", sim.Second)
+	u2.RecordBusy(0, sim.Time(sim.Second/2))
+	u2.RecordBusy(sim.Time(sim.Second), sim.Time(2*sim.Second))
+	if got := u2.Mean(2); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("Mean(2) = %v, want 0.75", got)
+	}
+}
+
+// TestUtilTraceConservation: total recorded busy time equals the sum over
+// windows, for arbitrary disjoint intervals.
+func TestUtilTraceConservation(t *testing.T) {
+	f := func(spans []uint16) bool {
+		u := NewUtilTrace("x", 100*sim.Microsecond)
+		var cursor sim.Time
+		var total sim.Duration
+		for _, s := range spans {
+			d := sim.Duration(s%1000) * sim.Microsecond
+			u.RecordBusy(cursor, cursor.Add(d))
+			total += d
+			cursor = cursor.Add(d + 37*sim.Microsecond)
+		}
+		var got sim.Duration
+		for i := 0; i < u.Len(); i++ {
+			got += sim.Duration(u.At(i) * float64(100*sim.Microsecond))
+		}
+		diff := got - total
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= sim.Duration(u.Len()+1) // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilTraceSeries(t *testing.T) {
+	u := NewUtilTrace("cpu", 500*sim.Millisecond)
+	u.RecordBusy(0, sim.Time(250*sim.Millisecond))
+	ts, util := u.Series()
+	if len(ts) != 1 || len(util) != 1 {
+		t.Fatalf("series lengths %d/%d", len(ts), len(util))
+	}
+	if ts[0] != 0.5 || util[0] != 0.5 {
+		t.Fatalf("series = %v %v", ts, util)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Results", "alpha", "speedup")
+	tab.AddRow(16, 1.25)
+	tab.AddRow(256, 0.5)
+	s := tab.String()
+	if !strings.Contains(s, "Results") || !strings.Contains(s, "alpha") {
+		t.Fatalf("missing title/header:\n%s", s)
+	}
+	if !strings.Contains(s, "1.250") || !strings.Contains(s, "256") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("reads", 3)
+	c.Add("reads", 2)
+	c.Add("writes", 1)
+	if c.Get("reads") != 5 || c.Get("writes") != 1 || c.Get("absent") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	if got := c.String(); got != "reads=5 writes=1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []sim.Duration{50, 10, 40, 20, 30} // sorted: 10..50
+	cases := []struct {
+		q    float64
+		want sim.Duration
+	}{
+		{0, 10}, {100, 50}, {50, 30}, {99, 50}, {20, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.q); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	// Input must not be mutated (sorted copy).
+	if samples[0] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestNewUtilTraceBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero window")
+		}
+	}()
+	NewUtilTrace("x", 0)
+}

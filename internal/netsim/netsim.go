@@ -1,0 +1,135 @@
+// Package netsim models the storage interconnect (SAN) connecting hosts and
+// ASUs.
+//
+// The paper's network model (Section 5) "uses only host-ASU communication,
+// and assumes that the processor saturates before the individual network
+// links". We model each node's network interface as a timeline with a
+// bandwidth; a message from A to B occupies both endpoints' interfaces for
+// its serialization time and is delivered one propagation latency after the
+// transfer completes. With the default (generous) bandwidth the network is
+// never the bottleneck, matching the paper's assumption, but constrained
+// configurations can be explored by lowering it.
+package netsim
+
+import (
+	"fmt"
+
+	"lmas/internal/sim"
+)
+
+// Iface is one node's network interface.
+type Iface struct {
+	s    *sim.Sim
+	name string
+	bw   float64 // bytes per second
+
+	busyUntil sim.Time
+	busy      sim.Duration
+	recorder  sim.BusyRecorder
+
+	sentBytes, recvBytes int64
+	sent, received       int64
+}
+
+// NewIface creates an interface with the given bandwidth in bytes/second.
+func NewIface(s *sim.Sim, name string, bw float64) *Iface {
+	if bw <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Iface{s: s, name: name, bw: bw}
+}
+
+// Name reports the interface name.
+func (f *Iface) Name() string { return f.name }
+
+// Bandwidth reports the interface bandwidth in bytes/second.
+func (f *Iface) Bandwidth() float64 { return f.bw }
+
+// SetRecorder attaches rec to receive busy intervals; nil detaches.
+func (f *Iface) SetRecorder(rec sim.BusyRecorder) { f.recorder = rec }
+
+// Busy reports total serialization time on this interface.
+func (f *Iface) Busy() sim.Duration { return f.busy }
+
+// Stats reports cumulative message and byte counts.
+func (f *Iface) Stats() (sent, received, sentBytes, recvBytes int64) {
+	return f.sent, f.received, f.sentBytes, f.recvBytes
+}
+
+func (f *Iface) String() string {
+	return fmt.Sprintf("iface(%s, %.0f MB/s)", f.name, f.bw/1e6)
+}
+
+// Net is the interconnect fabric.
+type Net struct {
+	s       *sim.Sim
+	latency sim.Duration
+}
+
+// New creates a fabric with the given per-message propagation latency.
+func New(s *sim.Sim, latency sim.Duration) *Net {
+	if latency < 0 {
+		panic("netsim: negative latency")
+	}
+	return &Net{s: s, latency: latency}
+}
+
+// Latency reports the propagation latency.
+func (n *Net) Latency() sim.Duration { return n.latency }
+
+// Send transfers size bytes from interface src to interface dst, blocking p
+// until the message has been delivered (serialization on the slower of the
+// two endpoints, then propagation latency). Zero-size messages incur only
+// latency. Use Send for request/response exchanges whose initiator waits
+// for delivery; use Stream for pipelined bulk flows.
+func (n *Net) Send(p *sim.Proc, src, dst *Iface, size int) {
+	n.transfer(p, src, dst, size, true)
+}
+
+// Stream transfers size bytes like Send but blocks p only for the
+// serialization time: in a pipelined bulk flow the sender issues the next
+// message as soon as the wire is free, and per-message propagation latency
+// is hidden by the stream. Successive messages still serialize on the
+// endpoints, so bandwidth is conserved exactly.
+func (n *Net) Stream(p *sim.Proc, src, dst *Iface, size int) {
+	n.transfer(p, src, dst, size, false)
+}
+
+func (n *Net) transfer(p *sim.Proc, src, dst *Iface, size int, withLatency bool) {
+	now := n.s.Now()
+	start := now
+	if src.busyUntil > start {
+		start = src.busyUntil
+	}
+	if dst.busyUntil > start {
+		start = dst.busyUntil
+	}
+	bw := src.bw
+	if dst.bw < bw {
+		bw = dst.bw
+	}
+	ser := sim.Duration(float64(size) / bw * float64(sim.Second))
+	end := start.Add(ser)
+	src.busyUntil, dst.busyUntil = end, end
+	src.busy += sim.Duration(end - start)
+	dst.busy += sim.Duration(end - start)
+	if end > start {
+		if src.recorder != nil {
+			src.recorder.RecordBusy(start, end)
+		}
+		if dst.recorder != nil {
+			dst.recorder.RecordBusy(start, end)
+		}
+	}
+	src.sent++
+	src.sentBytes += int64(size)
+	dst.received++
+	dst.recvBytes += int64(size)
+	deliver := end
+	if withLatency {
+		deliver = deliver.Add(n.latency)
+	}
+	if deliver > now {
+		p.Sleep(sim.Duration(deliver - now))
+	}
+}

@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lmas/internal/sim"
+)
+
+func build(s *sim.Sim, lat sim.Duration, bw float64) (*Net, *Iface, *Iface) {
+	n := New(s, lat)
+	return n, NewIface(s, "a", bw), NewIface(s, "b", bw)
+}
+
+func TestSendLatencyPlusSerialization(t *testing.T) {
+	s := sim.New()
+	n, a, b := build(s, sim.Millisecond, 100e6) // 100 MB/s
+	var done sim.Time
+	s.Spawn("tx", func(p *sim.Proc) {
+		n.Send(p, a, b, 1_000_000) // 10 ms serialize + 1 ms latency
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(11*sim.Millisecond) {
+		t.Fatalf("send completed at %v, want 11ms", done)
+	}
+}
+
+func TestZeroSizeOnlyLatency(t *testing.T) {
+	s := sim.New()
+	n, a, b := build(s, 2*sim.Millisecond, 100e6)
+	var done sim.Time
+	s.Spawn("tx", func(p *sim.Proc) {
+		n.Send(p, a, b, 0)
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(2*sim.Millisecond) {
+		t.Fatalf("control message took %v, want 2ms", done)
+	}
+}
+
+func TestSlowestEndpointLimits(t *testing.T) {
+	s := sim.New()
+	n := New(s, 0)
+	fast := NewIface(s, "fast", 1000e6)
+	slow := NewIface(s, "slow", 10e6)
+	var done sim.Time
+	s.Spawn("tx", func(p *sim.Proc) {
+		n.Send(p, fast, slow, 1_000_000) // limited by 10 MB/s -> 100 ms
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("send took %v, want 100ms (slower endpoint limits)", done)
+	}
+}
+
+func TestSharedReceiverSerializes(t *testing.T) {
+	// Two senders to one receiver: transfers serialize on the receiver NIC.
+	s := sim.New()
+	n := New(s, 0)
+	rx := NewIface(s, "rx", 100e6)
+	var t1, t2 sim.Time
+	for i, tp := range []*sim.Time{&t1, &t2} {
+		tp := tp
+		tx := NewIface(s, "tx", 100e6)
+		_ = i
+		s.Spawn("s", func(p *sim.Proc) {
+			n.Send(p, tx, rx, 1_000_000)
+			*tp = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	last := t1
+	if t2 > last {
+		last = t2
+	}
+	if last != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("second transfer done at %v, want 20ms (receiver serializes)", last)
+	}
+}
+
+func TestDisjointPairsProceedInParallel(t *testing.T) {
+	s := sim.New()
+	n := New(s, 0)
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		a := NewIface(s, "a", 100e6)
+		b := NewIface(s, "b", 100e6)
+		s.Spawn("tx", func(p *sim.Proc) {
+			n.Send(p, a, b, 1_000_000)
+			done[i] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if d != sim.Time(10*sim.Millisecond) {
+			t.Fatalf("pair %d done at %v, want 10ms (independent links)", i, d)
+		}
+	}
+}
+
+func TestStatsAndBusy(t *testing.T) {
+	s := sim.New()
+	n, a, b := build(s, 0, 100e6)
+	s.Spawn("tx", func(p *sim.Proc) {
+		n.Send(p, a, b, 500_000)
+		n.Send(p, a, b, 500_000)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sent, _, sb, _ := a.Stats()
+	_, recvd, _, rb := b.Stats()
+	if sent != 2 || recvd != 2 || sb != 1_000_000 || rb != 1_000_000 {
+		t.Fatalf("stats: sent=%d recvd=%d sb=%d rb=%d", sent, recvd, sb, rb)
+	}
+	if a.Busy() != 10*sim.Millisecond || b.Busy() != 10*sim.Millisecond {
+		t.Fatalf("busy a=%v b=%v, want 10ms", a.Busy(), b.Busy())
+	}
+}
+
+func TestStreamSkipsLatency(t *testing.T) {
+	s := sim.New()
+	n, a, b := build(s, 5*sim.Millisecond, 100e6)
+	var done sim.Time
+	s.Spawn("tx", func(p *sim.Proc) {
+		n.Stream(p, a, b, 1_000_000) // 10 ms serialize, no latency wait
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("stream blocked until %v, want 10ms", done)
+	}
+}
+
+func TestStreamConservesBandwidth(t *testing.T) {
+	// A pipelined stream of k messages still takes k * serialization on
+	// the shared endpoints: latency hiding must not create bandwidth.
+	s := sim.New()
+	n, a, b := build(s, sim.Millisecond, 100e6)
+	var done sim.Time
+	s.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			n.Stream(p, a, b, 1_000_000)
+		}
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("10 MB streamed in %v, want exactly 100ms at 100MB/s", done)
+	}
+}
+
+func TestStreamAndSendShareEndpoints(t *testing.T) {
+	// A Send issued while a Stream transfer occupies the endpoints must
+	// queue behind it.
+	s := sim.New()
+	n, a, b := build(s, 0, 100e6)
+	var sendDone sim.Time
+	s.Spawn("stream", func(p *sim.Proc) {
+		n.Stream(p, a, b, 2_000_000) // occupies [0, 20ms)
+	})
+	s.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		n.Send(p, a, b, 1_000_000) // waits until 20ms, then 10ms
+		sendDone = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendDone != sim.Time(30*sim.Millisecond) {
+		t.Fatalf("send done at %v, want 30ms", sendDone)
+	}
+}
+
+// TestBandwidthConservationProperty: for any mix of Send and Stream sizes,
+// the endpoint busy time equals total bytes / bandwidth exactly.
+func TestBandwidthConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, useStream []bool) bool {
+		s := sim.New()
+		n, a, b := build(s, sim.Millisecond, 50e6)
+		var total int
+		s.Spawn("tx", func(p *sim.Proc) {
+			for i, raw := range sizes {
+				size := int(raw) + 1
+				total += size
+				if i < len(useStream) && useStream[i] {
+					n.Stream(p, a, b, size)
+				} else {
+					n.Send(p, a, b, size)
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		want := sim.Duration(float64(total) / 50e6 * float64(sim.Second))
+		diff := a.Busy() - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= sim.Duration(len(sizes)+1) // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadArgsPanic(t *testing.T) {
+	s := sim.New()
+	for _, fn := range []func(){
+		func() { NewIface(s, "x", 0) },
+		func() { New(s, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

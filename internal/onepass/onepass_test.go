@@ -1,0 +1,115 @@
+package onepass
+
+import (
+	"errors"
+	"testing"
+
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
+	"lmas/internal/records"
+)
+
+func testCluster(hosts, asus, hostMem int) *cluster.Cluster {
+	p := cluster.DefaultParams()
+	p.Hosts, p.ASUs = hosts, asus
+	p.HostMemRecords = hostMem
+	return cluster.New(p)
+}
+
+func TestOnePassSorts(t *testing.T) {
+	cl := testCluster(4, 8, 4096)
+	in := dsmsort.MakeInput(cl, 8000, records.Uniform{}, 1, 64)
+	res, err := Sort(cl, Config{SampleSize: 2048, PacketRecords: 64, Seed: 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Sampled splitters should balance the hosts within ~2x.
+	for hi, n := range res.HostRecords {
+		if n < 8000/4/2 || n > 8000/4*2 {
+			t.Fatalf("host %d sorted %d of 8000; imbalanced split", hi, n)
+		}
+	}
+}
+
+func TestOnePassSkewedInputStillBalances(t *testing.T) {
+	// Sampling exists precisely so skewed keys split evenly.
+	cl := testCluster(4, 8, 4096)
+	in := dsmsort.MakeInput(cl, 8000, records.Exponential{Mean: 0.05}, 1, 64)
+	res, err := Sort(cl, Config{SampleSize: 4096, PacketRecords: 64, Seed: 1}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hi, n := range res.HostRecords {
+		if n < 8000/4/3 || n > 8000/4*3 {
+			t.Fatalf("host %d sorted %d of 8000 under skew", hi, n)
+		}
+	}
+}
+
+func TestOnePassRejectsOversizedInput(t *testing.T) {
+	cl := testCluster(2, 4, 1024)
+	in := dsmsort.MakeInput(cl, 10000, records.Uniform{}, 1, 64) // > 0.8*2*1024
+	_, err := Sort(cl, Config{PacketRecords: 64, Seed: 1}, in)
+	var tooLarge *ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if tooLarge.Capacity != 1638 {
+		t.Fatalf("capacity = %d", tooLarge.Capacity)
+	}
+}
+
+func TestOnePassBeatsTwoPassWhenItFits(t *testing.T) {
+	// One pass over the data vs DSM-Sort's two: when memory suffices,
+	// the one-pass design wins (which is why it held sort records).
+	n := 1 << 14
+	clA := testCluster(4, 8, 1<<13)
+	inA := dsmsort.MakeInput(clA, n, records.Uniform{}, 3, 64)
+	one, err := Sort(clA, Config{SampleSize: 2048, PacketRecords: 64, Seed: 3}, inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clB := testCluster(4, 8, 1<<13)
+	inB := dsmsort.MakeInput(clB, n, records.Uniform{}, 3, 64)
+	two, err := dsmsort.Sort(clB, dsmsort.Config{
+		Alpha: 16, Beta: 64, Gamma2: 16, PacketRecords: 64,
+		Placement: dsmsort.Active, Seed: 3,
+	}, inB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Elapsed >= two.Elapsed {
+		t.Fatalf("one-pass %.4fs not faster than two-pass %.4fs at in-memory scale",
+			one.Elapsed.Seconds(), two.Elapsed.Seconds())
+	}
+}
+
+func TestTwoPassScalesPastOnePassWall(t *testing.T) {
+	// Past the memory wall the one-pass sort cannot run at all, while
+	// DSM-Sort completes: the scaling argument of Section 7.
+	n := 1 << 14
+	cl := testCluster(2, 8, 1<<12) // capacity 0.8*2*4096 = 6553 < n
+	in := dsmsort.MakeInput(cl, n, records.Uniform{}, 3, 64)
+	if _, err := Sort(cl, Config{PacketRecords: 64, Seed: 3}, in); err == nil {
+		t.Fatal("one-pass sorted past its memory wall")
+	}
+	cl2 := testCluster(2, 8, 1<<12)
+	in2 := dsmsort.MakeInput(cl2, n, records.Uniform{}, 3, 64)
+	if _, err := dsmsort.Sort(cl2, dsmsort.Config{
+		Alpha: 16, Beta: 64, Gamma2: 16, PacketRecords: 64,
+		Placement: dsmsort.Active, Seed: 3,
+	}, in2); err != nil {
+		t.Fatalf("DSM-Sort failed where it must scale: %v", err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	cl := testCluster(1, 1, 1024)
+	in := dsmsort.MakeInput(cl, 100, records.Uniform{}, 1, 32)
+	if _, err := Sort(cl, Config{PacketRecords: 0}, in); err == nil {
+		t.Fatal("zero packet size accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/sim"
+)
+
+func BenchmarkPushPopInMemory(b *testing.B) {
+	cl := cluster.New(cluster.DefaultParams())
+	q := New(cl, cl.Hosts[0], bte.NewMemory(), 1<<12)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	cl.Sim.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(p, Item{Key: keys[i%4096]})
+			if i%2 == 1 {
+				q.PopMin(p)
+			}
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSpillHeavy(b *testing.B) {
+	// A tiny buffer forces constant spilling: the external-memory path.
+	cl := cluster.New(cluster.DefaultParams())
+	q := New(cl, cl.Hosts[0], bte.NewDisk(cl.ASUs[0].Disk), 64)
+	b.ResetTimer()
+	cl.Sim.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(p, Item{Key: uint64(i * 2654435761 % (1 << 30))})
+		}
+		for {
+			if _, ok := q.PopMin(p); !ok {
+				break
+			}
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package records
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newBenchRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func BenchmarkGenerate(b *testing.B) {
+	b.SetBytes(int64(DefaultSize))
+	for i := 0; i < b.N; i += 4096 {
+		Generate(4096, DefaultSize, int64(i), Uniform{})
+	}
+}
+
+func BenchmarkBufferSort(b *testing.B) {
+	src := Generate(4096, DefaultSize, 1, Uniform{})
+	b.SetBytes(int64(DefaultSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 4096 {
+		b.StopTimer()
+		buf := src.Clone()
+		b.StartTimer()
+		buf.Sort()
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	buf := Generate(4096, DefaultSize, 1, Uniform{})
+	b.SetBytes(int64(DefaultSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 4096 {
+		var c Checksum
+		c.Add(buf)
+	}
+}
+
+func BenchmarkBucketOf(b *testing.B) {
+	sp := Splitters(256)
+	keys := Generate(4096, KeyBytes+4, 1, Uniform{})
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += BucketOf(keys.Key(i%4096), sp)
+	}
+	_ = sink
+}
+
+func BenchmarkExponentialDraw(b *testing.B) {
+	d := Exponential{Mean: 0.05}
+	rng := newBenchRng()
+	for i := 0; i < b.N; i++ {
+		d.Draw(rng)
+	}
+}

@@ -1,0 +1,47 @@
+package rtree
+
+import "testing"
+
+func BenchmarkBuildSTR(b *testing.B) {
+	es := GenerateEntries(1<<14, 0.005, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(es, 16)
+	}
+}
+
+func BenchmarkSearchPoint(b *testing.B) {
+	es := GenerateEntries(1<<14, 0.005, 1)
+	t := Build(es, 16)
+	qs := GenerateQueries(256, 0.001, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Search(qs[i%256])
+	}
+}
+
+func BenchmarkSearchRange(b *testing.B) {
+	es := GenerateEntries(1<<14, 0.005, 1)
+	t := Build(es, 16)
+	qs := GenerateQueries(64, 0.2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Search(qs[i%64])
+	}
+}
+
+func BenchmarkDistributedQuery(b *testing.B) {
+	for _, mode := range []Mode{Partition, Stripe} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			es := GenerateEntries(1<<13, 0.005, 1)
+			q := Rect{0.2, 0.2, 0.4, 0.4}
+			for i := 0; i < b.N; i++ {
+				dt := NewDistributed(distCluster(8), es, 16, mode)
+				if _, _, err := dt.QueryOnce(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package rtree
+
+import (
+	"testing"
+)
+
+func TestInsertVisibleImmediately(t *testing.T) {
+	es := GenerateEntries(1000, 0.005, 1)
+	dt := NewDistributed(distCluster(4), es, 8, Partition)
+	extra := Entry{Box: Rect{0.5, 0.5, 0.51, 0.51}, ID: 99999}
+	if _, err := dt.InsertBatch([]Entry{extra}); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Pending() != 1 {
+		t.Fatalf("pending = %d", dt.Pending())
+	}
+	ids, _, err := dt.QueryOnce(Rect{0.49, 0.49, 0.52, 0.52})
+	if err != nil {
+		t.Fatal(err) // QueryOnce validates against brute force incl. extra
+	}
+	found := false
+	for _, id := range ids {
+		if id == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("online insert invisible to queries")
+	}
+}
+
+func TestMaintainFoldsBufferAndStaysCorrect(t *testing.T) {
+	es := GenerateEntries(1000, 0.005, 2)
+	dt := NewDistributed(distCluster(4), es, 8, Partition)
+	newEntries := GenerateEntries(200, 0.005, 3)
+	for i := range newEntries {
+		newEntries[i].ID += 1 << 20 // distinct ids
+	}
+	if _, err := dt.InsertBatch(newEntries); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Pending() != 200 {
+		t.Fatalf("pending = %d", dt.Pending())
+	}
+	if _, err := dt.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Pending() != 0 {
+		t.Fatalf("pending = %d after Maintain", dt.Pending())
+	}
+	for _, q := range GenerateQueries(20, 0.1, 4) {
+		if _, _, err := dt.QueryOnce(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaintenanceRestoresQueryCost(t *testing.T) {
+	es := GenerateEntries(4096, 0.005, 5)
+	dt := NewDistributed(distCluster(4), es, 16, Partition)
+	q := Rect{0.3, 0.3, 0.32, 0.32}
+	_, before, err := dt.QueryOnce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := GenerateEntries(4096, 0.005, 6)
+	for i := range extra {
+		extra[i].ID += 1 << 20
+	}
+	if _, err := dt.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	_, degraded, err := dt.QueryOnce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded <= before {
+		t.Fatalf("query with 4096 buffered inserts (%v) not slower than clean (%v)", degraded, before)
+	}
+	if _, err := dt.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := dt.QueryOnce(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= degraded {
+		t.Fatalf("maintenance did not restore query cost: %v -> %v", degraded, after)
+	}
+}
+
+func TestASUMaintenanceBeatsHostMaintenance(t *testing.T) {
+	// With many ASUs the parallel batch jobs beat the serial host
+	// rebuild that also round-trips all data over the interconnect.
+	run := func(onHost bool) float64 {
+		es := GenerateEntries(8192, 0.005, 7)
+		dt := NewDistributed(distCluster(16), es, 16, Partition)
+		extra := GenerateEntries(1024, 0.005, 8)
+		for i := range extra {
+			extra[i].ID += 1 << 20
+		}
+		if _, err := dt.InsertBatch(extra); err != nil {
+			t.Fatal(err)
+		}
+		var d float64
+		if onHost {
+			dd, err := dt.MaintainOnHost()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d = dd.Seconds()
+		} else {
+			dd, err := dt.Maintain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			d = dd.Seconds()
+		}
+		// Correctness after either path.
+		for _, q := range GenerateQueries(5, 0.1, 9) {
+			if _, _, err := dt.QueryOnce(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	asu, host := run(false), run(true)
+	if asu >= host {
+		t.Fatalf("ASU batch maintenance %.6fs not faster than host rebuild %.6fs", asu, host)
+	}
+}
+
+func TestInsertOnStripePanics(t *testing.T) {
+	es := GenerateEntries(100, 0.01, 1)
+	dt := NewDistributed(distCluster(2), es, 8, Stripe)
+	_, err := dt.InsertBatch([]Entry{{Box: Rect{0.1, 0.1, 0.2, 0.2}, ID: 1}})
+	if err == nil {
+		t.Fatal("stripe insert did not fail")
+	}
+}
+
+func TestMaintainOnReplicatedUpdatesAllReplicas(t *testing.T) {
+	es := GenerateEntries(2000, 0.005, 10)
+	dt := NewReplicated(distCluster(8), es, 16, 2)
+	extra := GenerateEntries(100, 0.005, 11)
+	for i := range extra {
+		extra[i].ID += 1 << 20
+	}
+	if _, err := dt.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Maintain(); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated queries rotate replicas; both must include the new data
+	// (QueryOnce validates against brute force each time).
+	q := Rect{0.2, 0.2, 0.6, 0.6}
+	for i := 0; i < 4; i++ {
+		if _, _, err := dt.QueryOnce(q); err != nil {
+			t.Fatalf("replica query %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package rtree implements the spatial-index application of Section 4.2:
+// R-trees bulk-loaded with the Sort-Tile-Recursive method, and the two
+// distributed organizations of Figure 5 — partitioning subtrees across
+// ASUs versus striping leaves across all ASUs:
+//
+//	"One option to construct the subtrees is to build a tree over all the
+//	data at each ASU, and treat each as a leaf of the host tree. An
+//	alternative is to stripe a host leaf across all of the ASUs...
+//	Because the latter option stripes leaves across ASUs, every query
+//	executes in parallel on all of the ASUs, which is useful to bound
+//	search latency. The former option distributes the searches across
+//	the ASUs, which is useful in server applications with many
+//	concurrent searches."
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Intersects reports whether r and o overlap (boundaries touching counts).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle covering r and o.
+func (r Rect) Union(o Rect) Rect {
+	if o.MinX < r.MinX {
+		r.MinX = o.MinX
+	}
+	if o.MinY < r.MinY {
+		r.MinY = o.MinY
+	}
+	if o.MaxX > r.MaxX {
+		r.MaxX = o.MaxX
+	}
+	if o.MaxY > r.MaxY {
+		r.MaxY = o.MaxY
+	}
+	return r
+}
+
+// Center reports the rectangle's center point.
+func (r Rect) Center() (x, y float64) {
+	return (r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2
+}
+
+// Entry is an indexed spatial object.
+type Entry struct {
+	Box Rect
+	ID  uint32
+}
+
+// EntryBytes is an entry's stored size: four float64 coordinates and an id.
+const EntryBytes = 36
+
+// Node is an R-tree node: either a leaf holding entries or an internal node
+// holding children.
+type Node struct {
+	Box      Rect
+	Leaf     bool
+	Entries  []Entry // leaf only
+	Children []*Node // internal only
+}
+
+// Tree is a bulk-loaded R-tree.
+type Tree struct {
+	Root   *Node
+	Fanout int
+	Height int
+	leaves []*Node
+}
+
+// Build bulk-loads entries with the Sort-Tile-Recursive method: sort by x
+// center, cut into vertical slabs, sort each slab by y center, pack leaves,
+// then pack upper levels fanout children at a time.
+func Build(entries []Entry, fanout int) *Tree {
+	if fanout < 2 {
+		panic("rtree: fanout must be >= 2")
+	}
+	if len(entries) == 0 {
+		panic("rtree: no entries")
+	}
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		xi, _ := es[i].Box.Center()
+		xj, _ := es[j].Box.Center()
+		if xi != xj {
+			return xi < xj
+		}
+		return es[i].ID < es[j].ID
+	})
+	nLeaves := (len(es) + fanout - 1) / fanout
+	slabs := intSqrtCeil(nLeaves)
+	perSlab := slabs * fanout
+	var leaves []*Node
+	for s := 0; s < len(es); s += perSlab {
+		e := s + perSlab
+		if e > len(es) {
+			e = len(es)
+		}
+		slab := es[s:e]
+		sort.Slice(slab, func(i, j int) bool {
+			_, yi := slab[i].Box.Center()
+			_, yj := slab[j].Box.Center()
+			if yi != yj {
+				return yi < yj
+			}
+			return slab[i].ID < slab[j].ID
+		})
+		for lo := 0; lo < len(slab); lo += fanout {
+			hi := lo + fanout
+			if hi > len(slab) {
+				hi = len(slab)
+			}
+			leaf := &Node{Leaf: true, Entries: append([]Entry(nil), slab[lo:hi]...)}
+			leaf.Box = leaf.Entries[0].Box
+			for _, en := range leaf.Entries[1:] {
+				leaf.Box = leaf.Box.Union(en.Box)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	t := &Tree{Fanout: fanout, leaves: leaves}
+	level := leaves
+	t.Height = 1
+	for len(level) > 1 {
+		var next []*Node
+		for lo := 0; lo < len(level); lo += fanout {
+			hi := lo + fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := &Node{Children: append([]*Node(nil), level[lo:hi]...)}
+			n.Box = n.Children[0].Box
+			for _, c := range n.Children[1:] {
+				n.Box = n.Box.Union(c.Box)
+			}
+			next = append(next, n)
+		}
+		level = next
+		t.Height++
+	}
+	t.Root = level[0]
+	return t
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Leaves returns the tree's leaves in STR packing order.
+func (t *Tree) Leaves() []*Node { return t.leaves }
+
+// Search returns the IDs of entries intersecting q, and the number of
+// nodes visited (the traversal's comparison cost driver).
+func (t *Tree) Search(q Rect) (ids []uint32, visited int) {
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		visited++
+		if n.Leaf {
+			for _, e := range n.Entries {
+				if e.Box.Intersects(q) {
+					ids = append(ids, e.ID)
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if c.Box.Intersects(q) {
+				walk(c)
+			}
+		}
+	}
+	if t.Root.Box.Intersects(q) {
+		walk(t.Root)
+	}
+	return ids, visited
+}
+
+// BruteForce returns the IDs of entries intersecting q by linear scan — the
+// validation oracle.
+func BruteForce(entries []Entry, q Rect) []uint32 {
+	var ids []uint32
+	for _, e := range entries {
+		if e.Box.Intersects(q) {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+// GenerateEntries produces n random rectangles in the unit square with the
+// given maximum extent, deterministically from seed.
+func GenerateEntries(n int, maxExtent float64, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := rng.Float64(), rng.Float64()
+		w, h := rng.Float64()*maxExtent, rng.Float64()*maxExtent
+		es[i] = Entry{Box: Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, ID: uint32(i)}
+	}
+	return es
+}
+
+// GenerateQueries produces range queries of roughly the given side length.
+func GenerateQueries(n int, side float64, seed int64) []Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Rect, n)
+	for i := range qs {
+		x, y := rng.Float64(), rng.Float64()
+		qs[i] = Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+	}
+	return qs
+}
+
+// GenerateHotQueries produces a skewed server workload: hotFrac of the
+// queries fall inside the hot region, the rest are uniform. Hot-spot
+// workloads are where replicating subtrees pays off — a partitioned index
+// funnels them all to one ASU.
+func GenerateHotQueries(n int, side float64, hot Rect, hotFrac float64, seed int64) []Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]Rect, n)
+	for i := range qs {
+		var x, y float64
+		if rng.Float64() < hotFrac {
+			x = hot.MinX + rng.Float64()*(hot.MaxX-hot.MinX)
+			y = hot.MinY + rng.Float64()*(hot.MaxY-hot.MinY)
+		} else {
+			x, y = rng.Float64(), rng.Float64()
+		}
+		qs[i] = Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}
+	}
+	return qs
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f]x[%.3f,%.3f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event scheduling and dispatch.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(Microsecond, tick)
+		}
+	}
+	s.After(Microsecond, tick)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSwitch measures a full proc park/resume round trip.
+func BenchmarkProcSwitch(b *testing.B) {
+	s := New()
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueHandoff measures producer/consumer transfer through a
+// bounded queue including the blocking round trips.
+func BenchmarkQueueHandoff(b *testing.B) {
+	s := New()
+	q := NewQueue[int](s, "bench", 1)
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures acquire/release under three-way
+// contention.
+func BenchmarkResourceContention(b *testing.B) {
+	s := New()
+	r := NewResource(s, "cpu")
+	for w := 0; w < 3; w++ {
+		s.Spawn("worker", func(p *Proc) {
+			for i := 0; i < b.N/3; i++ {
+				r.Use(p, Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestHighPriorityJumpsQueue(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	var order []string
+	hold := func(name string, d Duration, high bool) {
+		s.Spawn(name, func(p *Proc) {
+			if high {
+				r.AcquireHigh(p)
+			} else {
+				r.Acquire(p)
+			}
+			order = append(order, name)
+			p.Sleep(d)
+			r.Release(p)
+		})
+	}
+	hold("first", 10*Millisecond, false)
+	s.Spawn("later", func(p *Proc) {
+		p.Sleep(Millisecond) // let "first" take the CPU and others queue
+		hold("low2", Millisecond, false)
+		hold("high", Millisecond, true)
+	})
+	hold("low1", Millisecond, false)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "[first high low1 low2]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("order %v, want %v (high jumps all queued lows)", order, want)
+	}
+}
+
+func TestHighPriorityFIFOWithinClass(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	var order []string
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * Millisecond)
+		r.Release(p)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("h%d", i), func(p *Proc) {
+			p.Sleep(Duration(i+1) * Millisecond)
+			r.AcquireHigh(p)
+			order = append(order, fmt.Sprintf("h%d", i))
+			r.Release(p)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[h0 h1 h2]" {
+		t.Fatalf("high-priority arrivals served out of order: %v", order)
+	}
+}
+
+func TestNoBargingOnRelease(t *testing.T) {
+	// A proc that calls Acquire at the same instant as a Release must not
+	// steal the resource from an already-queued waiter.
+	s := New()
+	r := NewResource(s, "cpu")
+	var order []string
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * Millisecond)
+		r.Release(p)
+	})
+	s.Spawn("waiter", func(p *Proc) {
+		p.Sleep(Millisecond)
+		r.Acquire(p)
+		order = append(order, "waiter")
+		r.Release(p)
+	})
+	s.Spawn("barger", func(p *Proc) {
+		p.Sleep(10 * Millisecond) // arrives exactly at release time
+		r.Acquire(p)
+		order = append(order, "barger")
+		r.Release(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[waiter barger]" {
+		t.Fatalf("order %v; queued waiter must beat same-instant arrival", order)
+	}
+}
+
+func TestUseHighAccounting(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	s.Spawn("a", func(p *Proc) { r.Use(p, Millisecond) })
+	s.Spawn("b", func(p *Proc) { r.UseHigh(p, Millisecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total, prio := r.Holds()
+	if total != 2 || prio != 1 {
+		t.Fatalf("holds = %d/%d, want 2/1", total, prio)
+	}
+	if r.Busy() != 2*Millisecond {
+		t.Fatalf("busy = %v", r.Busy())
+	}
+}
+
+func TestPreemptionPointLatency(t *testing.T) {
+	// A long computation split into quanta lets a high-priority request
+	// in at the next boundary: its waiting time is bounded by the
+	// quantum, not the whole computation.
+	run := func(quantum Duration) Duration {
+		s := New()
+		r := NewResource(s, "cpu")
+		s.Spawn("functor", func(p *Proc) {
+			remaining := 100 * Millisecond
+			for remaining > 0 {
+				q := quantum
+				if q > remaining {
+					q = remaining
+				}
+				r.Use(p, q)
+				remaining -= q
+			}
+		})
+		var latency Duration
+		s.Spawn("request", func(p *Proc) {
+			p.Sleep(Millisecond)
+			start := p.Now()
+			r.UseHigh(p, 100*Microsecond)
+			latency = Duration(p.Now()-start) - 100*Microsecond
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return latency
+	}
+	monolithic := run(100 * Millisecond)
+	chunked := run(Millisecond)
+	if monolithic < 90*Millisecond {
+		t.Fatalf("monolithic hold should starve the request: waited %v", monolithic)
+	}
+	if chunked > 2*Millisecond {
+		t.Fatalf("chunked hold should bound waiting to ~1 quantum: waited %v", chunked)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import "errors"
+
+// ErrClosed is returned by Queue.Put on a closed queue.
+var ErrClosed = errors.New("sim: put on closed queue")
+
+// Queue is a bounded FIFO connecting procs, the simulated analogue of a
+// buffered Go channel. Queues carry records between functor instances; the
+// bound models the limited buffer memory of the node hosting the consumer
+// and provides backpressure, which is what lets a saturated stage slow its
+// producers (the load-balance effect the paper's emulation studies).
+type Queue[T any] struct {
+	sim      *Sim
+	name     string
+	buf      []T
+	head     int // index of first element in buf (ring)
+	n        int // number of elements
+	closed   bool
+	notEmpty *Cond
+	notFull  *Cond
+
+	// stats
+	puts, gets uint64
+}
+
+// NewQueue creates a queue holding at most capacity elements.
+// Capacity must be at least 1.
+func NewQueue[T any](s *Sim, name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic("sim: queue capacity must be >= 1")
+	}
+	return &Queue[T]{
+		sim:      s,
+		name:     name,
+		buf:      make([]T, capacity),
+		notEmpty: NewCond(s, name+" not-empty"),
+		notFull:  NewCond(s, name+" not-full"),
+	}
+}
+
+// Len reports the number of buffered elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Name reports the queue's name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Puts reports the total number of elements ever enqueued.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Put appends v, blocking p while the queue is full.
+// It returns ErrClosed if the queue is or becomes closed.
+func (q *Queue[T]) Put(p *Proc, v T) error {
+	for q.n == len(q.buf) && !q.closed {
+		q.notFull.Wait(p)
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.puts++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends v without blocking; it reports whether v was accepted.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || q.n == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+	q.puts++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Get removes and returns the oldest element, blocking p while the queue is
+// empty. ok is false if the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait(p)
+	}
+	if q.n == 0 {
+		return v, false
+	}
+	return q.take(), true
+}
+
+// TryGet removes and returns the oldest element without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if q.n == 0 {
+		return v, false
+	}
+	return q.take(), true
+}
+
+func (q *Queue[T]) take() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.gets++
+	q.notFull.Signal()
+	return v
+}
+
+// Close marks the queue closed: pending and future Puts fail with ErrClosed,
+// and Gets drain the buffer then report ok=false. Close is idempotent.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

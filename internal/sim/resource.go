@@ -1,0 +1,140 @@
+package sim
+
+// Resource is an exclusive-use server with two-level priority queueing: a
+// CPU, a disk arm, or a network link endpoint. Procs acquire it, hold it
+// for some span of virtual time, and release it; contenders queue in
+// arrival order within their priority class, and the high class is always
+// served first. Priority is the mechanism behind performance isolation:
+// foreground storage requests can be scheduled ahead of queued functor
+// computation (the paper's requirement that "storage-based computation
+// should not occur if it interferes with storage access for other
+// applications").
+//
+// Ownership is handed off directly on Release — no barging — so scheduling
+// is deterministic.
+type Resource struct {
+	sim   *Sim
+	name  string
+	owner *Proc
+	high  []*Proc
+	low   []*Proc
+
+	busy      Duration // total busy time, completed holds only
+	busyStart Time     // start of current hold, valid when owner != nil
+	recorder  BusyRecorder
+
+	holds, priorityHolds int64
+}
+
+// BusyRecorder receives the [from, to) interval of every completed hold on
+// a Resource. Implementations aggregate these into utilization traces.
+type BusyRecorder interface {
+	RecordBusy(from, to Time)
+}
+
+// NewResource creates an idle resource.
+func NewResource(s *Sim, name string) *Resource {
+	return &Resource{sim: s, name: name}
+}
+
+// Name reports the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// SetRecorder attaches rec to receive busy intervals; nil detaches.
+func (r *Resource) SetRecorder(rec BusyRecorder) { r.recorder = rec }
+
+// Acquire blocks p until it holds r exclusively (normal priority).
+func (r *Resource) Acquire(p *Proc) { r.acquire(p, false) }
+
+// AcquireHigh blocks p until it holds r, ahead of all normal-priority
+// contenders (but behind the current holder and earlier high-priority
+// waiters).
+func (r *Resource) AcquireHigh(p *Proc) { r.acquire(p, true) }
+
+func (r *Resource) acquire(p *Proc, high bool) {
+	if r.owner == nil {
+		r.take(p, high)
+		return
+	}
+	if high {
+		r.high = append(r.high, p)
+	} else {
+		r.low = append(r.low, p)
+	}
+	p.park("acquire " + r.name)
+	// Ownership was transferred to us by Release before the wakeup.
+	if r.owner != p {
+		panic("sim: woke without ownership of " + r.name)
+	}
+}
+
+func (r *Resource) take(p *Proc, high bool) {
+	r.owner = p
+	r.busyStart = r.sim.now
+	r.holds++
+	if high {
+		r.priorityHolds++
+	}
+}
+
+// Release relinquishes r, handing it to the longest-waiting high-priority
+// contender, or failing that the longest-waiting normal one. Release
+// panics if p does not hold r.
+func (r *Resource) Release(p *Proc) {
+	if r.owner != p {
+		panic("sim: Release by non-owner of " + r.name)
+	}
+	held := Duration(r.sim.now - r.busyStart)
+	r.busy += held
+	if r.recorder != nil && held > 0 {
+		r.recorder.RecordBusy(r.busyStart, r.sim.now)
+	}
+	var next *Proc
+	var wasHigh bool
+	if len(r.high) > 0 {
+		next = r.high[0]
+		copy(r.high, r.high[1:])
+		r.high = r.high[:len(r.high)-1]
+		wasHigh = true
+	} else if len(r.low) > 0 {
+		next = r.low[0]
+		copy(r.low, r.low[1:])
+		r.low = r.low[:len(r.low)-1]
+	}
+	if next == nil {
+		r.owner = nil
+		return
+	}
+	r.take(next, wasHigh)
+	s := r.sim
+	s.At(s.now, func() { s.runProc(next) })
+}
+
+// Use acquires r, holds it for d of virtual time, then releases it. This is
+// the primitive for "spend d of CPU (or disk, or link) time".
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// UseHigh is Use with high-priority admission.
+func (r *Resource) UseHigh(p *Proc, d Duration) {
+	r.AcquireHigh(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// Busy reports the total time r has been held (completed holds only).
+func (r *Resource) Busy() Duration { return r.busy }
+
+// InUse reports whether some proc currently holds r.
+func (r *Resource) InUse() bool { return r.owner != nil }
+
+// QueueLen reports how many procs are waiting to acquire r. If the
+// resource is held, the holder is not counted.
+func (r *Resource) QueueLen() int { return len(r.high) + len(r.low) }
+
+// Holds reports total completed-or-current holds and how many entered via
+// the high-priority path.
+func (r *Resource) Holds() (total, priority int64) { return r.holds, r.priorityHolds }

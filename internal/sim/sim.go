@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal times fire in schedule
+// order (seq breaks ties), which keeps the simulation deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Sim is a discrete-event simulator. The zero value is not usable; create
+// one with New. A Sim must be used from a single OS-level flow of control:
+// either the caller of Run, or the currently running Proc (there is never
+// more than one).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	parked chan struct{}  // handoff: running proc -> scheduler
+	procs  map[*Proc]bool // all live procs
+	inProc bool           // true while a proc goroutine has control
+
+	// panicVal carries a panic out of a proc goroutine so runProc can
+	// rethrow it in the Run caller's stack.
+	panicVal any
+}
+
+// New creates an empty simulation at time zero.
+func New() *Sim {
+	return &Sim{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]bool),
+	}
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// clamped to the present.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.events.pushEvent(event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Proc is an emulated thread of control: a goroutine that runs only when the
+// scheduler hands it the simulation. All blocking operations (Sleep, queue
+// and resource operations, condition waits) must be called with the Proc
+// that is currently running.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	killed bool
+	// blocked describes what the proc is waiting on, for deadlock reports.
+	blocked string
+}
+
+// Name reports the name the proc was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this proc belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+type killedSentinel struct{ name string }
+
+// Spawn starts a new proc running fn. The proc is scheduled to begin at the
+// current virtual time. Spawn may be called before Run or from a running
+// proc or event callback.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs[p] = true
+	go func() {
+		<-p.resume // wait for the scheduler to start us
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedSentinel); !ok {
+					// Re-panic in the scheduler's context so the
+					// failure surfaces to the caller of Run.
+					delete(s.procs, p)
+					s.panicVal = r
+					s.parked <- struct{}{}
+					return
+				}
+			}
+			delete(s.procs, p)
+			s.parked <- struct{}{} // final handoff back to the scheduler
+		}()
+		if p.killed {
+			panic(killedSentinel{p.name})
+		}
+		fn(p)
+	}()
+	s.At(s.now, func() { s.runProc(p) })
+	return p
+}
+
+// runProc transfers control to p until it parks or exits. Must be called
+// from scheduler context (inside an event callback).
+func (s *Sim) runProc(p *Proc) {
+	if !s.procs[p] {
+		return // proc already exited (e.g. killed)
+	}
+	p.blocked = ""
+	s.inProc = true
+	p.resume <- struct{}{}
+	<-s.parked
+	s.inProc = false
+	if s.panicVal != nil {
+		v := s.panicVal
+		s.panicVal = nil
+		panic(v)
+	}
+}
+
+// park suspends the calling proc until the scheduler resumes it. The caller
+// must have arranged for a wakeup (a scheduled event or a cond signal).
+func (p *Proc) park(why string) {
+	p.blocked = why
+	p.sim.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedSentinel{p.name})
+	}
+}
+
+// Sleep suspends the proc for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.At(s.now.Add(d), func() { s.runProc(p) })
+	p.park("sleep")
+}
+
+// Yield gives other procs and events scheduled for the current instant a
+// chance to run before p continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError reports that Run exhausted all events while procs were still
+// blocked: in the emulated system those threads would wait forever.
+type DeadlockError struct {
+	// Blocked lists the stuck procs as "name (reason)".
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d procs blocked forever: %s",
+		len(e.Blocked), strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events in virtual-time order until no events remain. If live
+// procs are still blocked when the event queue drains, Run force-terminates
+// them and returns a DeadlockError naming them. On success all spawned procs
+// have finished.
+func (s *Sim) Run() error {
+	for len(s.events) > 0 {
+		ev := s.events.popEvent()
+		s.now = ev.t
+		ev.fn()
+	}
+	if len(s.procs) > 0 {
+		var names []string
+		for p := range s.procs {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, p.blocked))
+		}
+		sort.Strings(names)
+		s.killProcs()
+		return &DeadlockError{Blocked: names}
+	}
+	return nil
+}
+
+// RunFor executes events until the event queue drains or virtual time would
+// pass the current time plus d, whichever comes first. Remaining procs are
+// left parked; call Run to continue or Shutdown to terminate them.
+func (s *Sim) RunFor(d Duration) {
+	deadline := s.now.Add(d)
+	for len(s.events) > 0 && s.events.peek().t <= deadline {
+		ev := s.events.popEvent()
+		s.now = ev.t
+		ev.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Shutdown force-terminates all live procs (their goroutines unwind via an
+// internal panic that Shutdown recovers). It is safe to call after Run or
+// RunFor; it must not be called from proc context.
+func (s *Sim) Shutdown() { s.killProcs() }
+
+func (s *Sim) killProcs() {
+	for len(s.procs) > 0 {
+		for p := range s.procs {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-s.parked
+			break // map may have changed; restart iteration
+		}
+	}
+	// Drop any queued events so a subsequent Run returns immediately.
+	s.events = s.events[:0]
+}

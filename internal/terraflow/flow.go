@@ -1,0 +1,187 @@
+package terraflow
+
+import (
+	"fmt"
+	"sort"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/pqueue"
+	"lmas/internal/sim"
+)
+
+// FlowAccumulation computes each cell's upstream area — the number of cells
+// (including itself) whose flow path passes through it — the flow index
+// TerraFlow exists to produce: "flow indices characterizing the slope
+// orientation and the 'upstream' area of each grid cell of a large terrain"
+// (Section 4.1). Flow follows the steepest-descent direction (single flow
+// direction), so the computation is time-forward processing in *descending*
+// elevation order: each cell receives the accumulated areas of its uphill
+// contributors, adds one for itself, and forwards the total downhill.
+//
+// It consumes the same sorted cell sequence as Watershed (reversed), runs
+// on the cluster's first host, and spills its priority queue to the first
+// ASU's disk like Watershed does.
+func FlowAccumulation(cl *cluster.Cluster, g *Grid, cells *sortedCells, pqMemItems int) ([]uint32, sim.Duration, error) {
+	host := cl.Hosts[0]
+	spillASU := cl.ASUs[0]
+	eng := &bte.Hooked{Engine: bte.NewDisk(spillASU.Disk)}
+	areas := make([]uint32, g.Cells())
+	var werr error
+	start := cl.Sim.Now()
+
+	// Deliver packets in reverse order with per-ASU prefetch readers.
+	rev := make([]int, len(cells.packets))
+	for i := range rev {
+		rev[i] = len(cells.packets) - 1 - i
+	}
+	feeds := make([]*sim.Queue[container.Packet], len(cl.ASUs))
+	perASU := make([][]container.Packet, len(cl.ASUs))
+	for _, pi := range rev {
+		if src := cells.srcASU[pi]; src >= 0 {
+			perASU[src] = append(perASU[src], cells.packets[pi])
+		}
+	}
+	for i, asu := range cl.ASUs {
+		if len(perASU[i]) == 0 {
+			continue
+		}
+		i, asu := i, asu
+		feeds[i] = sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("flow.feed%d", i), 4)
+		cl.Sim.Spawn(fmt.Sprintf("flow.read@asu%d", i), func(p *sim.Proc) {
+			for _, pk := range perASU[i] {
+				asu.Disk.Read(p, pk.Bytes())
+				cl.Net.Stream(p, asu.NIC, host.NIC, pk.Bytes()+64)
+				if err := feeds[i].Put(p, pk); err != nil {
+					panic(err)
+				}
+			}
+			feeds[i].Close()
+		})
+	}
+
+	cl.Sim.Spawn("flowaccum@host", func(p *sim.Proc) {
+		eng.OnXfer = func(pp *sim.Proc, bytes int) {
+			cl.Net.Send(pp, host.NIC, spillASU.NIC, bytes+64)
+		}
+		pq := pqueue.New(cl, host, eng, pqMemItems)
+		pq.Strict = true
+		cm := cl.Params.Costs
+		touch := cl.Touch(host)
+
+		var group []Cell
+		var groupElev uint32
+		haveGroup := false
+		processGroup := func() {
+			if len(group) == 0 {
+				return
+			}
+			// Descending order overall; within an elevation group,
+			// descending id (the reverse of the ascending total
+			// order).
+			sort.Slice(group, func(i, j int) bool {
+				return g.ID(int(group[i].X), int(group[i].Y)) > g.ID(int(group[j].X), int(group[j].Y))
+			})
+			for _, c := range group {
+				id := g.ID(int(c.X), int(c.Y))
+				// Processing order key: descending (elev,id) means
+				// ascending flipped order.
+				self := ^order(c.Elev, id)
+				area := uint64(1)
+				for {
+					it, ok := pq.Peek(p)
+					if !ok || it.Key != self {
+						break
+					}
+					pq.PopMin(p)
+					area += it.Payload
+				}
+				if area > uint64(g.Cells()) {
+					werr = fmt.Errorf("terraflow: cell %d accumulated %d > grid size", id, area)
+					return
+				}
+				areas[id] = uint32(area)
+				if sd, ok := SteepestDescent(g.W, g.H, c); ok {
+					nid, _ := NeighborID(g.W, g.H, c.X, c.Y, sd)
+					// The downhill neighbor processes later in
+					// descending order: its flipped key is larger.
+					nElev := c.Nbr[sd]
+					pq.Push(p, pqueue.Item{Key: ^order(nElev, nid), Payload: area})
+				}
+				host.Compute(p, touch+watershedOpsPerCell*cm.CompareOps)
+			}
+			group = group[:0]
+		}
+
+		for _, pi := range rev {
+			pk := cells.packets[pi]
+			if src := cells.srcASU[pi]; src >= 0 {
+				got, ok := feeds[src].Get(p)
+				if !ok {
+					werr = fmt.Errorf("terraflow: flow feed from asu%d ended early", src)
+					return
+				}
+				pk = got
+			}
+			// Records inside the packet are ascending; walk backwards.
+			for r := pk.Len() - 1; r >= 0; r-- {
+				c := DecodeCell(pk.Buf.Record(r))
+				if haveGroup && c.Elev != groupElev {
+					processGroup()
+				}
+				groupElev, haveGroup = c.Elev, true
+				group = append(group, c)
+			}
+		}
+		processGroup()
+		if werr == nil && pq.Len() != 0 {
+			werr = fmt.Errorf("terraflow: %d undelivered flow contributions", pq.Len())
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		return nil, 0, fmt.Errorf("terraflow: flow accumulation: %w", err)
+	}
+	if werr != nil {
+		return nil, 0, werr
+	}
+	for i, a := range areas {
+		if a == 0 {
+			return nil, 0, fmt.Errorf("terraflow: cell %d never accumulated", i)
+		}
+	}
+	return areas, sim.Duration(cl.Sim.Now() - start), nil
+}
+
+// ReferenceAccumulation computes upstream areas in memory by processing
+// cells in descending total order — the oracle for FlowAccumulation.
+func ReferenceAccumulation(g *Grid) []uint32 {
+	n := g.Cells()
+	areas := make([]uint32, n)
+	type cellOrd struct {
+		ord uint64
+		id  uint32
+	}
+	cells := make([]cellOrd, n)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			id := g.ID(x, y)
+			cells[id] = cellOrd{ord: order(g.At(x, y), id), id: id}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].ord > cells[j].ord })
+	var rec [CellRecordSize]byte
+	for i := range areas {
+		areas[i] = 1
+	}
+	for _, co := range cells {
+		x, y := int(co.id)%g.W, int(co.id)/g.W
+		EncodeCell(g, x, y, rec[:])
+		c := DecodeCell(rec[:])
+		if sd, ok := SteepestDescent(g.W, g.H, c); ok {
+			nid, _ := NeighborID(g.W, g.H, c.X, c.Y, sd)
+			areas[nid] += areas[co.id]
+		}
+	}
+	return areas
+}

@@ -1,0 +1,130 @@
+// Package terraflow implements the terrain-analysis application of
+// Section 4.1: the watershed stage of the TerraFlow drainage modelling
+// package, restructured for active storage.
+//
+// The computation has three steps. "Step 1 restructures the grid to include
+// neighbor and position information in each grid cell, allowing cells to be
+// processed independently and effectively converting the grid from a stream
+// into a set. This step is easily distributed... Step 2 invokes an external
+// sort to order records by elevation... Step 3 uses neighbor information to
+// propagate colors from the lowest points up/outward to the peaks and
+// ridges. This step is difficult to parallelize because it uses
+// time-forward processing and relies on ordering for correctness."
+//
+// Real TerraFlow consumes sensor raster grids (NASA/USGS DEMs); this
+// reproduction generates synthetic terrains with controlled watershed
+// structure instead (see DESIGN.md, "Substitutions") — the code paths
+// exercised are identical.
+package terraflow
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MaxElev bounds generated elevations, leaving headroom below NoNeighbor.
+const MaxElev = 1 << 30
+
+// Grid is a W x H raster of elevations, row-major.
+type Grid struct {
+	W, H int
+	Elev []uint32
+}
+
+// NewGrid allocates a zero grid.
+func NewGrid(w, h int) *Grid {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("terraflow: bad grid %dx%d", w, h))
+	}
+	return &Grid{W: w, H: h, Elev: make([]uint32, w*h)}
+}
+
+// At reports the elevation at (x, y).
+func (g *Grid) At(x, y int) uint32 { return g.Elev[y*g.W+x] }
+
+// Set assigns the elevation at (x, y).
+func (g *Grid) Set(x, y int, e uint32) { g.Elev[y*g.W+x] = e }
+
+// ID reports the cell id of (x, y): its row-major index, also used as the
+// tie-breaker in the processing order and as the watershed color of minima.
+func (g *Grid) ID(x, y int) uint32 { return uint32(y*g.W + x) }
+
+// Cells reports the cell count.
+func (g *Grid) Cells() int { return g.W * g.H }
+
+// Basin is a synthetic watershed: terrain slopes toward its center.
+type Basin struct {
+	X, Y int
+	// Base is the center elevation.
+	Base uint32
+}
+
+// SyntheticBasins builds a terrain as the lower envelope of Chebyshev cones
+// around randomly placed basin centers: elev = min_i(base_i + slope * max
+// (|dx|,|dy|)). Every cell has a strictly descending neighbor path to some
+// center, so with well-separated centers the watershed count equals the
+// basin count exactly — which tests rely on.
+func SyntheticBasins(w, h, basins int, slope uint32, seed int64) (*Grid, []Basin) {
+	if basins < 1 {
+		panic("terraflow: need at least one basin")
+	}
+	if slope < 1 {
+		slope = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bs := make([]Basin, basins)
+	for i := range bs {
+		bs[i] = Basin{
+			X:    rng.Intn(w),
+			Y:    rng.Intn(h),
+			Base: uint32(rng.Intn(1000)),
+		}
+	}
+	g := FromBasins(w, h, bs, slope)
+	return g, bs
+}
+
+// FromBasins builds the lower-envelope terrain for explicit basin centers.
+func FromBasins(w, h int, bs []Basin, slope uint32) *Grid {
+	g := NewGrid(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			best := uint32(MaxElev - 1)
+			for _, b := range bs {
+				dx, dy := x-b.X, y-b.Y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				d := dx
+				if dy > d {
+					d = dy
+				}
+				e := b.Base + slope*uint32(d)
+				if e < best {
+					best = e
+				}
+			}
+			g.Set(x, y, best)
+		}
+	}
+	return g
+}
+
+// Random fills a grid with uniform random elevations — a worst-case terrain
+// with many tiny watersheds, used by property tests against the reference
+// implementation.
+func Random(w, h int, seed int64) *Grid {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGrid(w, h)
+	for i := range g.Elev {
+		g.Elev[i] = uint32(rng.Intn(MaxElev))
+	}
+	return g
+}
+
+// Bytes reports the raw raster size (4 bytes per cell), the unit the
+// emulated disks transfer during restructuring.
+func (g *Grid) Bytes() int { return 4 * g.Cells() }

@@ -1,0 +1,60 @@
+package terraflow
+
+// ReferenceWatersheds labels every cell with the id of the local minimum it
+// drains to, by direct steepest-descent pointer chasing in memory. It is
+// the oracle the time-forward implementation is validated against: both
+// use the same total order and the same steepest-descent rule, so their
+// labelings must be identical.
+func ReferenceWatersheds(g *Grid) []uint32 {
+	n := g.Cells()
+	colors := make([]uint32, n)
+	const unset = NoNeighbor
+	for i := range colors {
+		colors[i] = unset
+	}
+	var rec [CellRecordSize]byte
+	// resolve follows descent pointers iteratively, coloring the whole
+	// path once the sink is known.
+	var path []uint32
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			id := g.ID(x, y)
+			if colors[id] != unset {
+				continue
+			}
+			path = path[:0]
+			cx, cy := x, y
+			var color uint32
+			for {
+				cid := g.ID(cx, cy)
+				if colors[cid] != unset {
+					color = colors[cid]
+					break
+				}
+				path = append(path, cid)
+				EncodeCell(g, cx, cy, rec[:])
+				c := DecodeCell(rec[:])
+				sd, ok := SteepestDescent(g.W, g.H, c)
+				if !ok {
+					color = cid // local minimum: its own id
+					break
+				}
+				nid, _ := NeighborID(g.W, g.H, c.X, c.Y, sd)
+				cx, cy = int(nid)%g.W, int(nid)/g.W
+			}
+			for _, cid := range path {
+				colors[cid] = color
+			}
+		}
+	}
+	return colors
+}
+
+// CountWatersheds reports the number of distinct labels.
+func CountWatersheds(colors []uint32) int {
+	seen := make(map[uint32]struct{})
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

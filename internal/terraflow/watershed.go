@@ -1,0 +1,287 @@
+package terraflow
+
+import (
+	"fmt"
+	"sort"
+
+	"lmas/internal/bte"
+	"lmas/internal/cluster"
+	"lmas/internal/container"
+	"lmas/internal/dsmsort"
+	"lmas/internal/extsort"
+	"lmas/internal/pqueue"
+	"lmas/internal/sim"
+)
+
+// watershedOpsPerCell is step 3's declared per-cell cost beyond the touch
+// and the priority-queue charges: choosing the steepest descent and
+// preparing up to eight forward messages.
+const watershedOpsPerCell = 16
+
+// Watershed runs step 3 on the cluster's first host: time-forward
+// processing over the elevation-ordered cells, propagating colors "from the
+// lowest points up/outward to the peaks and ridges". The priority queue
+// spills to the first ASU's disk, paying network hops for each spill — the
+// host has no local disk in the model of Figure 2.
+//
+// This step runs on a host regardless of configuration: it "is difficult
+// to parallelize because it uses time-forward processing and relies on
+// ordering for correctness", which is why ASUs accelerate steps 1-2 but
+// not this one (the TAB-TERRA result).
+func Watershed(cl *cluster.Cluster, g *Grid, cells *sortedCells, pqMemItems int) ([]uint32, sim.Duration, error) {
+	host := cl.Hosts[0]
+	spillASU := cl.ASUs[0]
+	eng := &bte.Hooked{
+		Engine: bte.NewDisk(spillASU.Disk),
+		OnXfer: nil, // set inside the proc, which knows its identity
+	}
+	colors := make([]uint32, g.Cells())
+	for i := range colors {
+		colors[i] = NoNeighbor
+	}
+	var werr error
+	start := cl.Sim.Now()
+	// Per-ASU prefetch readers stream the sorted packets toward the host
+	// in parallel, so the (striped) disks overlap their transfers with
+	// each other and with host processing.
+	feeds := make([]*sim.Queue[container.Packet], len(cl.ASUs))
+	perASU := make([][]container.Packet, len(cl.ASUs))
+	for pi, pk := range cells.packets {
+		if src := cells.srcASU[pi]; src >= 0 {
+			perASU[src] = append(perASU[src], pk)
+		}
+	}
+	for i, asu := range cl.ASUs {
+		if len(perASU[i]) == 0 {
+			continue
+		}
+		i, asu := i, asu
+		feeds[i] = sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("ws.feed%d", i), 4)
+		cl.Sim.Spawn(fmt.Sprintf("ws.read@asu%d", i), func(p *sim.Proc) {
+			for _, pk := range perASU[i] {
+				asu.Disk.Read(p, pk.Bytes())
+				cl.Net.Stream(p, asu.NIC, host.NIC, pk.Bytes()+64)
+				if err := feeds[i].Put(p, pk); err != nil {
+					panic(err)
+				}
+			}
+			feeds[i].Close()
+		})
+	}
+	cl.Sim.Spawn("watershed@host", func(p *sim.Proc) {
+		eng.OnXfer = func(pp *sim.Proc, bytes int) {
+			cl.Net.Send(pp, host.NIC, spillASU.NIC, bytes+64)
+		}
+		pq := pqueue.New(cl, host, eng, pqMemItems)
+		pq.Strict = true
+		cm := cl.Params.Costs
+		touch := cl.Touch(host)
+
+		// group buffers cells of equal elevation so ties process in id
+		// order (the total order ties are broken by).
+		var group []Cell
+		var groupElev uint32
+		processGroup := func() {
+			if len(group) == 0 {
+				return
+			}
+			sort.Slice(group, func(i, j int) bool {
+				return g.ID(int(group[i].X), int(group[i].Y)) < g.ID(int(group[j].X), int(group[j].Y))
+			})
+			for _, c := range group {
+				id := g.ID(int(c.X), int(c.Y))
+				self := order(c.Elev, id)
+				// Collect this cell's messages.
+				var fromSD uint32 = NoNeighbor
+				sdIdx, hasSD := SteepestDescent(g.W, g.H, c)
+				var sdID uint32
+				if hasSD {
+					sdID, _ = NeighborID(g.W, g.H, c.X, c.Y, sdIdx)
+				}
+				for {
+					it, ok := pq.Peek(p)
+					if !ok || it.Key != self {
+						break
+					}
+					pq.PopMin(p)
+					if uint32(it.Payload>>32) == sdID {
+						fromSD = uint32(it.Payload)
+					}
+				}
+				var color uint32
+				if !hasSD {
+					color = id // local minimum starts a watershed
+				} else {
+					if fromSD == NoNeighbor {
+						werr = fmt.Errorf("terraflow: cell %d missing message from steepest-descent neighbor %d", id, sdID)
+						return
+					}
+					color = fromSD
+				}
+				colors[id] = color
+				// Forward the color to every neighbor later in the
+				// processing order.
+				for i, e := range c.Nbr {
+					if e == NoNeighbor {
+						continue
+					}
+					nid, ok := NeighborID(g.W, g.H, c.X, c.Y, i)
+					if !ok {
+						continue
+					}
+					if no := order(e, nid); no > self {
+						pq.Push(p, pqueue.Item{
+							Key:     no,
+							Payload: uint64(id)<<32 | uint64(color),
+						})
+					}
+				}
+				host.Compute(p, touch+watershedOpsPerCell*cm.CompareOps)
+			}
+			group = group[:0]
+		}
+
+		for pi, pk := range cells.packets {
+			// Wait for the packet's delivery from its storage unit.
+			if src := cells.srcASU[pi]; src >= 0 {
+				got, ok := feeds[src].Get(p)
+				if !ok {
+					werr = fmt.Errorf("terraflow: feed from asu%d ended early", src)
+					return
+				}
+				pk = got
+			}
+			n := pk.Len()
+			for r := 0; r < n; r++ {
+				c := DecodeCell(pk.Buf.Record(r))
+				if len(group) > 0 && c.Elev != groupElev {
+					processGroup()
+				}
+				groupElev = c.Elev
+				group = append(group, c)
+			}
+		}
+		processGroup()
+		if werr == nil && pq.Len() != 0 {
+			werr = fmt.Errorf("terraflow: %d undelivered messages after processing", pq.Len())
+		}
+	})
+	if err := cl.Sim.Run(); err != nil {
+		return nil, 0, fmt.Errorf("terraflow: watershed: %w", err)
+	}
+	if werr != nil {
+		return nil, 0, werr
+	}
+	for i, c := range colors {
+		if c == NoNeighbor {
+			return nil, 0, fmt.Errorf("terraflow: cell %d never colored", i)
+		}
+	}
+	return colors, sim.Duration(cl.Sim.Now() - start), nil
+}
+
+// Options configures a full TerraFlow watershed run.
+type Options struct {
+	// Placement applies to steps 1 and 2 (step 3 is always host-side).
+	Placement dsmsort.Placement
+	// Sort configures DSM-Sort for Active placement.
+	Sort dsmsort.Config
+	// XSort configures the host-only sort for Conventional placement.
+	XSort extsort.Config
+	// PacketRecords sizes restructure output packets.
+	PacketRecords int
+	// PQMemItems sizes step 3's priority-queue buffer.
+	PQMemItems int
+	// Flow also computes upstream-area flow accumulation (a second
+	// time-forward pass over the sorted cells, in descending order).
+	Flow bool
+}
+
+// DefaultOptions returns a balanced configuration.
+func DefaultOptions() Options {
+	return Options{
+		Placement:     dsmsort.Active,
+		Sort:          dsmsort.Config{Alpha: 8, Beta: 256, Gamma2: 8, PacketRecords: 64, Placement: dsmsort.Active, Seed: 1},
+		XSort:         extsort.Config{MemRecords: 1 << 12, FanIn: 8},
+		PacketRecords: 64,
+		PQMemItems:    1 << 12,
+	}
+}
+
+// Result reports a full run.
+type Result struct {
+	Colors     []uint32
+	Watersheds int
+	// Areas holds each cell's upstream area when Options.Flow is set.
+	Areas []uint32
+	// Phase durations (the TAB-TERRA breakdown).
+	Restructure, Sort, Watershed sim.Duration
+	// FlowAccum is the flow-accumulation pass duration (Flow only).
+	FlowAccum sim.Duration
+}
+
+// Total reports the end-to-end virtual time across all executed phases.
+func (r *Result) Total() sim.Duration {
+	return r.Restructure + r.Sort + r.Watershed + r.FlowAccum
+}
+
+// Run executes all three steps on cl and validates the labeling against
+// the in-memory reference implementation.
+func Run(cl *cluster.Cluster, g *Grid, opt Options) (*Result, error) {
+	sets, t1, err := Restructure(cl, g, opt.Placement, opt.PacketRecords)
+	if err != nil {
+		return nil, err
+	}
+	in := inputFromSets(sets)
+	if in.N != g.Cells() {
+		return nil, fmt.Errorf("terraflow: restructured %d cells, want %d", in.N, g.Cells())
+	}
+	cells, t2, err := sortCells(cl, opt.Placement, opt.Sort, opt.XSort, in)
+	if err != nil {
+		return nil, err
+	}
+	colors, t3, err := Watershed(cl, g, cells, opt.PQMemItems)
+	if err != nil {
+		return nil, err
+	}
+	ref := ReferenceWatersheds(g)
+	for i := range ref {
+		if colors[i] != ref[i] {
+			return nil, fmt.Errorf("terraflow: cell %d colored %d, reference %d", i, colors[i], ref[i])
+		}
+	}
+	res := &Result{
+		Colors:      colors,
+		Watersheds:  CountWatersheds(colors),
+		Restructure: t1,
+		Sort:        t2,
+		Watershed:   t3,
+	}
+	if opt.Flow {
+		areas, t4, err := FlowAccumulation(cl, g, cells, opt.PQMemItems)
+		if err != nil {
+			return nil, err
+		}
+		refA := ReferenceAccumulation(g)
+		for i := range refA {
+			if areas[i] != refA[i] {
+				return nil, fmt.Errorf("terraflow: cell %d area %d, reference %d", i, areas[i], refA[i])
+			}
+		}
+		// Cross-check between the two flow indices: a local minimum's
+		// upstream area is exactly its watershed's size.
+		sizes := map[uint32]uint32{}
+		for _, c := range colors {
+			sizes[c]++
+		}
+		for min, size := range sizes {
+			if areas[min] != size {
+				return nil, fmt.Errorf("terraflow: minimum %d has area %d but watershed size %d",
+					min, areas[min], size)
+			}
+		}
+		res.Areas = areas
+		res.FlowAccum = t4
+	}
+	return res, nil
+}
