@@ -11,6 +11,7 @@
 //	asulab routes [-n N]
 //	asulab rtree  [-entries N] [-asus D]
 //	asulab terraflow [-w W] [-h H] [-asus D]
+//	asulab trace  [-n N] [-asus D] [-o FILE]
 //	asulab all    (runs everything at default sizes)
 package main
 
@@ -18,8 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
 	"lmas/internal/experiments"
+	"lmas/internal/records"
+	"lmas/internal/trace"
 )
 
 func main() {
@@ -56,6 +62,8 @@ func main() {
 		err = runAdapt(args)
 	case "onepass":
 		err = runOnePass(args)
+	case "trace":
+		err = runTrace(args)
 	case "all":
 		err = runAll()
 	case "-h", "--help", "help":
@@ -88,6 +96,7 @@ commands:
   filter     selection-scan filter pushdown vs selectivity (TAB-FILTER)
   adapt      mid-run routing-policy adaptation under skew (TAB-ADAPT)
   onepass    one-pass cluster sort vs DSM-Sort across the memory wall (TAB-ONEPASS)
+  trace      record a structured trace of a small DSM-Sort (Perfetto JSON or CSV)
   all        run everything at default sizes`)
 }
 
@@ -267,6 +276,51 @@ func runOnePass(args []string) error {
 		return err
 	}
 	fmt.Println(res.Table())
+	return nil
+}
+
+// runTrace records a structured trace of one small DSM-Sort run and writes
+// it to a file: Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing) or, with a .csv output name, a flat time series.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	n := fs.Int("n", 1<<14, "input records")
+	asus := fs.Int("asus", 4, "ASU count")
+	seed := fs.Int64("seed", 42, "workload seed")
+	out := fs.String("o", "dsmsort-trace.json", "output file (.json or .csv)")
+	fs.Parse(args)
+
+	params := cluster.DefaultParams()
+	params.Hosts, params.ASUs = 1, *asus
+	cl := cluster.New(params)
+	sink := trace.New()
+	cl.AttachTrace(sink)
+
+	in := dsmsort.MakeInput(cl, *n, records.Uniform{}, *seed, 64)
+	cfg := dsmsort.Config{Alpha: 8, Beta: 64, Gamma2: 8, PacketRecords: 64,
+		Placement: dsmsort.Active, Seed: *seed}
+	res, err := dsmsort.Sort(cl, cfg, in)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(*out, ".csv") {
+		err = sink.WriteCSV(f)
+	} else {
+		err = sink.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sorted %d records in %.4fs virtual; %d events on %d tracks -> %s\n",
+		*n, res.Elapsed.Seconds(), sink.Events(), sink.Tracks(), *out)
 	return nil
 }
 

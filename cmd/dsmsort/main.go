@@ -9,12 +9,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lmas/internal/cluster"
 	"lmas/internal/dsmsort"
 	"lmas/internal/records"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 func main() {
@@ -32,12 +34,19 @@ func main() {
 		dist      = flag.String("dist", "uniform", "uniform|exp|zipf|sorted|halves")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		progress  = flag.Int("progress", 0, "progress sampling interval in virtual ms (0 = off)")
+		traceFile = flag.String("trace", "", "write a structured trace of the run (.json for Perfetto/chrome://tracing, .csv for a flat series)")
 	)
 	flag.Parse()
 
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = *hosts, *asus, *c
 	cl := cluster.New(params)
+
+	var sink *trace.Sink
+	if *traceFile != "" {
+		sink = trace.New()
+		cl.AttachTrace(sink)
+	}
 
 	var in *dsmsort.Input
 	switch *dist {
@@ -106,6 +115,32 @@ func main() {
 		hostOps/1e6, asuOps/1e6, cfg.TotalCompares(*n, cfg.Gamma1(*asus))/1e6)
 	fmt.Printf("  interconnect: %.1f MB in pass 1\n", float64(res.Pass1.NetBytes)/1e6)
 	fmt.Println("  output validated: sorted, complete, uncorrupted")
+
+	if sink != nil {
+		if err := writeTrace(sink, *traceFile); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  trace: %d events on %d tracks -> %s\n",
+			sink.Events(), sink.Tracks(), *traceFile)
+	}
+}
+
+// writeTrace exports the sink to path, as CSV when the extension asks for
+// it and Chrome trace-event JSON otherwise.
+func writeTrace(sink *trace.Sink, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = sink.WriteCSV(f)
+	} else {
+		err = sink.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

@@ -18,6 +18,7 @@ import (
 	"lmas/internal/metrics"
 	"lmas/internal/netsim"
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 // NodeKind distinguishes hosts from ASUs.
@@ -294,6 +295,26 @@ func (c *Cluster) attachTrace(n *Node) {
 	}
 	n.CPUTrace = metrics.NewUtilTrace(n.Name+".cpu", c.Params.UtilWindow)
 	n.CPU.SetRecorder(n.CPUTrace)
+}
+
+// AttachTrace attaches a structured trace sink to the cluster's simulator
+// and pre-registers one track per node resource (cpu, disk, nic) in node
+// order, hosts first. Eager registration pins the track numbering, so the
+// same workload on the same seed exports a byte-identical trace regardless
+// of which resource happens to record first. Attach before spawning procs:
+// a proc's track is created when it is spawned.
+func (c *Cluster) AttachTrace(t *trace.Sink) {
+	c.Sim.SetTracer(t)
+	if t == nil {
+		return
+	}
+	for _, n := range c.Nodes() {
+		t.SharedTrack(n.Name, n.Name+".cpu")
+		if n.Disk != nil {
+			t.SharedTrack(n.Name, n.Name+".disk")
+		}
+		t.SharedTrack(n.Name, n.Name+".nic")
+	}
 }
 
 // Nodes returns all nodes, hosts first.

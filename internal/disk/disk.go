@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 // Disk is a sequential-transfer storage device in virtual time. All methods
@@ -42,11 +43,9 @@ type Disk struct {
 
 	busyUntil sim.Time // device timeline: end of last booked transfer
 
-	// Read-ahead state. A "read run" is a sequence of sequential reads;
-	// within a run, the transfer of the next block begins at delivery of
-	// the previous one.
-	readRun      bool
-	lastDelivery sim.Time
+	// defRun is the device-level read stream used by Read/EndReadRun;
+	// independent streams open their own Run with OpenRun.
+	defRun Run
 
 	// Write-behind state: completion time of the most recent write.
 	writeDone sim.Time
@@ -57,6 +56,20 @@ type Disk struct {
 	// Counters.
 	readBytes, writeBytes int64
 	reads, writes         int64
+
+	track trace.Track // cached trace timeline, created on first traced transfer
+}
+
+// Run is the read-ahead state of one sequential read stream: whether the
+// stream is warm, and when its previous block was delivered (the instant
+// prefetch of the next block began). Each independent stream must use its
+// own Run; if two interleaved streams shared one, the second stream's cold
+// read would skip its seek charge and back-date its prefetch to the other
+// stream's delivery.
+type Run struct {
+	d            *Disk
+	active       bool
+	lastDelivery sim.Time
 }
 
 // New creates a disk transferring rate bytes per second of virtual time.
@@ -64,7 +77,17 @@ func New(s *sim.Sim, name string, rate float64) *Disk {
 	if rate <= 0 {
 		panic("disk: rate must be positive")
 	}
-	return &Disk{s: s, name: name, rate: rate}
+	d := &Disk{s: s, name: name, rate: rate}
+	d.defRun.d = d
+	return d
+}
+
+// traceTrack returns d's timeline in t, creating it on first use.
+func (d *Disk) traceTrack(t *trace.Sink) trace.Track {
+	if d.track == 0 {
+		d.track = t.SharedTrack(trace.GroupOf(d.name), d.name)
+	}
+	return d.track
 }
 
 // Name reports the disk's name.
@@ -114,37 +137,62 @@ func (d *Disk) bookWithSetup(from sim.Time, n int, setup sim.Duration) (start, e
 	return start, end
 }
 
-// Read performs a sequential read of n bytes, blocking p until the data is
-// available. Within a read run the device prefetches, so the effective wait
-// is max(0, transferTime - timeSinceLastRead).
-func (d *Disk) Read(p *sim.Proc, n int) {
+// Read performs a sequential read of n bytes on the disk's default stream,
+// blocking p until the data is available. Within a read run the device
+// prefetches, so the effective wait is max(0, transferTime -
+// timeSinceLastRead). Callers interleaving several independent sequential
+// streams on one disk must give each its own stream via OpenRun; Read and
+// EndReadRun drive a single device-level stream.
+func (d *Disk) Read(p *sim.Proc, n int) { d.defRun.Read(p, n) }
+
+// EndReadRun marks the end of the default stream's read run: the next Read
+// is treated as cold (no prefetch overlap with past processing).
+func (d *Disk) EndReadRun() { d.defRun.End() }
+
+// OpenRun creates a new, cold sequential read stream on d. Streams share
+// the device timeline (concurrent transfers divide bandwidth) but each
+// keeps its own read-ahead state, so interleaved streams pay their own
+// cold-read seek and prefetch only against their own deliveries.
+func (d *Disk) OpenRun() *Run { return &Run{d: d} }
+
+// Read performs a sequential read of n bytes on this stream, blocking p
+// until the data is available; see Disk.Read.
+func (r *Run) Read(p *sim.Proc, n int) {
+	d := r.d
 	if n <= 0 {
 		return
 	}
 	now := d.s.Now()
 	from := now
 	extra := sim.Duration(0)
-	if d.readRun {
-		if d.lastDelivery < now {
+	if r.active {
+		if r.lastDelivery < now {
 			// Prefetch began when the previous block was delivered.
-			from = d.lastDelivery
+			from = r.lastDelivery
 		}
 	} else {
 		extra = d.seek // cold read: position the arm first
 	}
-	_, end := d.bookWithSetup(from, n, extra)
+	start, end := d.bookWithSetup(from, n, extra)
 	d.reads++
 	d.readBytes += int64(n)
+	if t := d.s.Tracer(); t != nil {
+		kind := "read.cold"
+		if r.active {
+			kind = "read.prefetch"
+		}
+		t.Span(d.traceTrack(t), int64(start), int64(end), kind, "disk",
+			trace.Arg{Key: "bytes", Val: n})
+	}
 	if end > now {
 		p.Sleep(sim.Duration(end - now))
 	}
-	d.readRun = true
-	d.lastDelivery = d.s.Now()
+	r.active = true
+	r.lastDelivery = d.s.Now()
 }
 
-// EndReadRun marks the end of a sequential read run: the next Read is
-// treated as cold (no prefetch overlap with past processing).
-func (d *Disk) EndReadRun() { d.readRun = false }
+// End marks the end of this stream's read run: its next Read is cold.
+func (r *Run) End() { r.active = false }
 
 // Write accepts n bytes for writing. It blocks p only while the previous
 // write is still in flight (write-behind with one outstanding write), then
@@ -157,10 +205,14 @@ func (d *Disk) Write(p *sim.Proc, n int) {
 	if d.writeDone > now {
 		p.Sleep(sim.Duration(d.writeDone - now))
 	}
-	_, end := d.book(d.s.Now(), n)
+	start, end := d.book(d.s.Now(), n)
 	d.writeDone = end
 	d.writes++
 	d.writeBytes += int64(n)
+	if t := d.s.Tracer(); t != nil {
+		t.Span(d.traceTrack(t), int64(start), int64(end), "write", "disk",
+			trace.Arg{Key: "bytes", Val: n})
+	}
 }
 
 // Flush blocks p until all accepted writes have retired.

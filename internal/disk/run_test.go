@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+const (
+	runBlock = 1_000_000            // 10 ms at 100 MB/s
+	runSeek  = 5 * sim.Millisecond  // charged per cold read
+	runXfer  = 10 * sim.Millisecond // block transfer time
+)
+
+// interleave runs two readers on one disk: A reads a block at t=0, B reads a
+// block at t=20ms (after A's delivery), then both read once more. It returns
+// when B's first read completed. shared selects the device-global default
+// stream (Disk.Read) instead of per-stream Run tokens.
+func interleave(t *testing.T, shared bool) sim.Time {
+	t.Helper()
+	s := sim.New()
+	d := newDisk(s, 100)
+	d.SetSeek(runSeek)
+	read := func(p *sim.Proc, r *Run) {
+		if shared {
+			d.Read(p, runBlock)
+		} else {
+			r.Read(p, runBlock)
+		}
+	}
+	var bFirst sim.Time
+	s.Spawn("a", func(p *sim.Proc) {
+		r := d.OpenRun()
+		read(p, r)
+		p.Sleep(30 * sim.Millisecond)
+		read(p, r)
+	})
+	s.Spawn("b", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		r := d.OpenRun()
+		read(p, r)
+		bFirst = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return bFirst
+}
+
+// TestInterleavedStreamsKeepOwnRunState is the regression test for the
+// device-global read-ahead bug: a second sequential stream starting while
+// another stream is warm used to inherit that stream's run — skipping its
+// cold-read seek and back-dating its prefetch to the other stream's
+// delivery. With per-stream Run tokens, B's first read is cold: it starts
+// at t=20ms and pays seek + transfer.
+func TestInterleavedStreamsKeepOwnRunState(t *testing.T) {
+	// A's first read: seek(5) + xfer(10) = delivered at 15ms.
+	// B's cold read at 20ms: 20 + 5 + 10 = 35ms.
+	if got, want := interleave(t, false), sim.Time(20*sim.Millisecond+runSeek+runXfer); got != want {
+		t.Fatalf("B's cold read completed at %v, want %v", got, want)
+	}
+}
+
+// TestSharedRunUndercharges documents the behaviour the Run tokens fix:
+// through the shared default stream, B's first read inherits A's warm run —
+// no seek, and the transfer is back-dated to A's delivery at 15ms, so B is
+// "done" at 25ms despite being a brand-new stream.
+func TestSharedRunUndercharges(t *testing.T) {
+	if got, want := interleave(t, true), sim.Time(15*sim.Millisecond+runXfer); got != want {
+		t.Fatalf("B's shared-run read completed at %v, want %v", got, want)
+	}
+}
+
+// TestDefaultStreamTimingUnchanged pins the single-reader fast path: Disk.Read
+// and EndReadRun must behave exactly as before the Run refactor (cold seek on
+// the first read and after every EndReadRun, prefetch within a run).
+func TestDefaultStreamTimingUnchanged(t *testing.T) {
+	s := sim.New()
+	d := newDisk(s, 100)
+	d.SetSeek(runSeek)
+	var elapsed sim.Time
+	s.Spawn("r", func(p *sim.Proc) {
+		d.Read(p, runBlock) // 5ms seek + 10ms
+		d.Read(p, runBlock) // +10ms, warm
+		d.EndReadRun()
+		d.Read(p, runBlock) // 5ms seek + 10ms, cold again
+		elapsed = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.Time(2*runSeek + 3*runXfer); elapsed != want {
+		t.Fatalf("elapsed %v, want %v", elapsed, want)
+	}
+}

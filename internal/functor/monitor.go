@@ -6,6 +6,7 @@ import (
 	"lmas/internal/cluster"
 	"lmas/internal/metrics"
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 // ProgressSample is one snapshot of a running pipeline: per-stage record
@@ -91,13 +92,18 @@ func (p *Pipeline) AttachMonitor(interval sim.Duration) *Monitor {
 				At:           proc.Now(),
 				StageRecords: map[string]int64{},
 			}
+			var args []trace.Arg
 			for _, st := range p.stages {
 				var recs int64
 				for _, inst := range st.instances {
 					recs += inst.RecordsIn
 				}
 				s.StageRecords[st.Name] = recs
+				// Stages in declaration order, so traced runs stay
+				// deterministic (no map iteration).
+				args = append(args, trace.Arg{Key: st.Name, Val: recs})
 			}
+			proc.TraceInstant("progress", "monitor", args...)
 			m.Samples = append(m.Samples, s)
 		}
 	})

@@ -7,6 +7,7 @@ import (
 	"lmas/internal/container"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 // DefaultInboxPackets bounds each instance's input queue; the bound models
@@ -366,6 +367,8 @@ func (in *Instance) run(proc *sim.Proc) {
 			panic(err)
 		}
 	}
+	proc.TraceBegin("stage "+in.Stage.Name, "functor",
+		trace.Arg{Key: "node", Val: in.Node.Name})
 	for {
 		pk, ok := in.In.Get(proc)
 		if !ok {
@@ -373,15 +376,20 @@ func (in *Instance) run(proc *sim.Proc) {
 		}
 		in.PacketsIn++
 		in.RecordsIn += int64(pk.Len())
+		proc.TraceBegin("packet", "functor", trace.Arg{Key: "records", Val: pk.Len()})
 		if !in.Stage.NoCPU {
 			ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
 			in.OpsCharged += ops
 			in.Node.Compute(proc, ops)
 		}
 		in.kernel.Process(ctx, pk, emit)
+		proc.TraceEnd()
 	}
 	in.kernel.Flush(ctx, emit)
 	in.out.Close() // the courier signals producerDone after draining
+	proc.TraceEnd(
+		trace.Arg{Key: "packets", Val: in.PacketsIn},
+		trace.Arg{Key: "records", Val: in.RecordsIn})
 }
 
 // Run is a convenience: Start the pipeline and run the simulator to

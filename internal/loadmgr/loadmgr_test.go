@@ -94,11 +94,14 @@ func TestChooseAlphaEmptyPanics(t *testing.T) {
 }
 
 func TestImbalance(t *testing.T) {
+	// Busy intervals are right-aligned within their window so every trace
+	// ends exactly on the last window boundary; otherwise the final window
+	// would be pro-rated to each trace's own observed width.
 	mk := func(vals ...float64) *metrics.UtilTrace {
 		tr := metrics.NewUtilTrace("x", sim.Second)
 		for i, v := range vals {
-			from := sim.Time(i) * sim.Time(sim.Second)
-			tr.RecordBusy(from, from.Add(sim.Duration(v*float64(sim.Second))))
+			winEnd := sim.Time(i+1) * sim.Time(sim.Second)
+			tr.RecordBusy(winEnd.Add(-sim.Duration(v*float64(sim.Second))), winEnd)
 		}
 		return tr
 	}

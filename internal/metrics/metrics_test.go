@@ -11,17 +11,23 @@ import (
 
 func TestUtilTraceSingleWindow(t *testing.T) {
 	u := NewUtilTrace("cpu", sim.Second)
+	// Busy for the whole observed span [0, 0.5s): the trace ends mid-window,
+	// so the partial window is pro-rated and utilization is 1.0.
 	u.RecordBusy(0, sim.Time(sim.Second/2))
-	if got := u.At(0); got != 0.5 {
-		t.Fatalf("At(0) = %v, want 0.5", got)
+	if got := u.At(0); got != 1.0 {
+		t.Fatalf("At(0) = %v, want 1.0", got)
+	}
+	if got := u.End(); got != sim.Time(sim.Second/2) {
+		t.Fatalf("End = %v", got)
 	}
 }
 
 func TestUtilTraceSpanningWindows(t *testing.T) {
 	u := NewUtilTrace("cpu", sim.Second)
-	// Busy from 0.5s to 2.5s: windows get 0.5, 1.0, 0.5.
+	// Busy from 0.5s to 2.5s: half of window 0, all of window 1, and all of
+	// window 2's observed half before the trace ends.
 	u.RecordBusy(sim.Time(500*sim.Millisecond), sim.Time(2500*sim.Millisecond))
-	want := []float64{0.5, 1.0, 0.5}
+	want := []float64{0.5, 1.0, 1.0}
 	for i, w := range want {
 		if got := u.At(i); math.Abs(got-w) > 1e-9 {
 			t.Fatalf("At(%d) = %v, want %v", i, got, w)
@@ -34,10 +40,33 @@ func TestUtilTraceSpanningWindows(t *testing.T) {
 
 func TestUtilTraceAccumulates(t *testing.T) {
 	u := NewUtilTrace("cpu", sim.Second)
+	// 0.5s busy over the observed span [0, 0.75s).
 	u.RecordBusy(0, sim.Time(250*sim.Millisecond))
 	u.RecordBusy(sim.Time(500*sim.Millisecond), sim.Time(750*sim.Millisecond))
-	if got := u.At(0); math.Abs(got-0.5) > 1e-9 {
-		t.Fatalf("At(0) = %v, want 0.5", got)
+	if got := u.At(0); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("At(0) = %v, want 2/3", got)
+	}
+}
+
+// TestUtilTraceFinalPartialWindow is the regression test for the pro-rating
+// bug: a resource busy to the very end of the run used to report a spurious
+// utilization dip in the final partial window (busy/Window instead of
+// busy/observed-width).
+func TestUtilTraceFinalPartialWindow(t *testing.T) {
+	u := NewUtilTrace("cpu", sim.Second)
+	u.RecordBusy(0, sim.Time(1500*sim.Millisecond)) // run ends mid-window 1
+	if got := u.At(1); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("At(1) = %v, want 1.0 (pro-rated partial window)", got)
+	}
+	if got := u.Mean(0); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("Mean = %v, want 1.0", got)
+	}
+	ts, util := u.Series()
+	wantTS := []float64{1.0, 1.5} // final point stamped at the trace end
+	for i := range wantTS {
+		if math.Abs(ts[i]-wantTS[i]) > 1e-9 || math.Abs(util[i]-1.0) > 1e-9 {
+			t.Fatalf("Series = %v %v, want ts %v, util all 1.0", ts, util, wantTS)
+		}
 	}
 }
 
@@ -82,7 +111,13 @@ func TestUtilTraceConservation(t *testing.T) {
 		}
 		var got sim.Duration
 		for i := 0; i < u.Len(); i++ {
-			got += sim.Duration(u.At(i) * float64(100*sim.Microsecond))
+			// Reconstruct each window's busy time from its utilization and
+			// observed width (the final window is pro-rated).
+			w := 100 * sim.Microsecond
+			if rem := sim.Duration(u.End()) - sim.Duration(i)*w; rem > 0 && rem < w {
+				w = rem
+			}
+			got += sim.Duration(u.At(i) * float64(w))
 		}
 		diff := got - total
 		if diff < 0 {
@@ -102,7 +137,8 @@ func TestUtilTraceSeries(t *testing.T) {
 	if len(ts) != 1 || len(util) != 1 {
 		t.Fatalf("series lengths %d/%d", len(ts), len(util))
 	}
-	if ts[0] != 0.5 || util[0] != 0.5 {
+	// The lone window is partial: stamped at the trace end, fully busy.
+	if ts[0] != 0.25 || util[0] != 1.0 {
 		t.Fatalf("series = %v %v", ts, util)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"lmas/internal/sim"
+	"lmas/internal/trace"
 )
 
 // Iface is one node's network interface.
@@ -29,6 +30,16 @@ type Iface struct {
 
 	sentBytes, recvBytes int64
 	sent, received       int64
+
+	track trace.Track // cached trace timeline, created on first traced transfer
+}
+
+// traceTrack returns f's timeline in t, creating it on first use.
+func (f *Iface) traceTrack(t *trace.Sink) trace.Track {
+	if f.track == 0 {
+		f.track = t.SharedTrack(trace.GroupOf(f.name), f.name)
+	}
+	return f.track
 }
 
 // NewIface creates an interface with the given bandwidth in bytes/second.
@@ -79,9 +90,12 @@ func (n *Net) Latency() sim.Duration { return n.latency }
 
 // Send transfers size bytes from interface src to interface dst, blocking p
 // until the message has been delivered (serialization on the slower of the
-// two endpoints, then propagation latency). Zero-size messages incur only
-// latency. Use Send for request/response exchanges whose initiator waits
-// for delivery; use Stream for pipelined bulk flows.
+// two endpoints, then propagation latency). Zero-size messages occupy no
+// wire time and leave both endpoints' timelines untouched, but — like any
+// message — they queue behind transfers already in flight on either endpoint
+// before incurring latency: a control message cannot overtake the data ahead
+// of it on the wire. Use Send for request/response exchanges whose initiator
+// waits for delivery; use Stream for pipelined bulk flows.
 func (n *Net) Send(p *sim.Proc, src, dst *Iface, size int) {
 	n.transfer(p, src, dst, size, true)
 }
@@ -110,15 +124,31 @@ func (n *Net) transfer(p *sim.Proc, src, dst *Iface, size int, withLatency bool)
 	}
 	ser := sim.Duration(float64(size) / bw * float64(sim.Second))
 	end := start.Add(ser)
-	src.busyUntil, dst.busyUntil = end, end
-	src.busy += sim.Duration(end - start)
-	dst.busy += sim.Duration(end - start)
+	if ser > 0 {
+		// Zero-size messages occupy no wire time: they wait for in-flight
+		// transfers (start above) but must not advance either endpoint's
+		// timeline — otherwise a control message would mark an idle
+		// interface busy until the *other* endpoint's backlog clears.
+		src.busyUntil, dst.busyUntil = end, end
+		src.busy += sim.Duration(end - start)
+		dst.busy += sim.Duration(end - start)
+	}
 	if end > start {
 		if src.recorder != nil {
 			src.recorder.RecordBusy(start, end)
 		}
 		if dst.recorder != nil {
 			dst.recorder.RecordBusy(start, end)
+		}
+		if t := n.s.Tracer(); t != nil {
+			kind := "stream"
+			if withLatency {
+				kind = "send"
+			}
+			t.Span(src.traceTrack(t), int64(start), int64(end), kind, "net",
+				trace.Arg{Key: "bytes", Val: size}, trace.Arg{Key: "to", Val: dst.name})
+			t.Span(dst.traceTrack(t), int64(start), int64(end), "recv", "net",
+				trace.Arg{Key: "bytes", Val: size}, trace.Arg{Key: "from", Val: src.name})
 		}
 	}
 	src.sent++

@@ -44,6 +44,68 @@ func TestZeroSizeOnlyLatency(t *testing.T) {
 	}
 }
 
+// TestZeroSizeQueuesBehindBusyEndpoint pins the documented semantics: a
+// zero-size message occupies no wire time, but it cannot overtake a transfer
+// already in flight on either endpoint — it waits for busyUntil, then incurs
+// latency.
+func TestZeroSizeQueuesBehindBusyEndpoint(t *testing.T) {
+	s := sim.New()
+	n, a, b := build(s, 2*sim.Millisecond, 100e6)
+	var done sim.Time
+	s.Spawn("bulk", func(p *sim.Proc) {
+		n.Stream(p, a, b, 1_000_000) // occupies both endpoints [0, 10ms)
+	})
+	s.Spawn("ctl", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond) // arrive mid-transfer
+		n.Send(p, a, b, 0)
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Queued until 10ms behind the bulk transfer, plus 2ms latency.
+	if done != sim.Time(12*sim.Millisecond) {
+		t.Fatalf("control message delivered at %v, want 12ms", done)
+	}
+}
+
+// TestZeroSizeLeavesTimelinesUntouched: a queued control message must not
+// advance either endpoint's busy timeline — in particular it must not mark
+// the sender's idle interface busy until the receiver's backlog clears,
+// which would stall unrelated traffic through the sender.
+func TestZeroSizeLeavesTimelinesUntouched(t *testing.T) {
+	s := sim.New()
+	n := New(s, 0)
+	a := NewIface(s, "a", 100e6)
+	b := NewIface(s, "b", 100e6)
+	c := NewIface(s, "c", 100e6)
+	d := NewIface(s, "d", 100e6)
+	s.Spawn("bulk", func(p *sim.Proc) {
+		n.Stream(p, b, c, 1_000_000) // b busy [0, 10ms)
+	})
+	s.Spawn("ctl", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		n.Send(p, a, b, 0) // queued behind b's backlog until 10ms
+	})
+	var done sim.Time
+	s.Spawn("other", func(p *sim.Proc) {
+		// While the control message is queued, a is still idle: an
+		// unrelated transfer through a must start immediately.
+		p.Sleep(2 * sim.Millisecond)
+		n.Stream(p, a, d, 1_000_000)
+		done = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != sim.Time(12*sim.Millisecond) {
+		t.Fatalf("unrelated transfer finished at %v, want 12ms (sender timeline must stay untouched)", done)
+	}
+	if got := a.Busy(); got != 10*sim.Millisecond {
+		t.Fatalf("a.Busy = %v, want 10ms (only the bulk transfer)", got)
+	}
+}
+
 func TestSlowestEndpointLimits(t *testing.T) {
 	s := sim.New()
 	n := New(s, 0)

@@ -16,8 +16,13 @@ type Cond struct {
 // NewCond creates a condition variable. what describes the awaited condition
 // in deadlock reports.
 func NewCond(s *Sim, what string) *Cond {
-	return &Cond{sim: s, what: what}
+	c := &Cond{sim: s, what: what}
+	s.registerPurger(c)
+	return c
 }
+
+// purge removes a killed proc from the wait list; see Sim.killProcs.
+func (c *Cond) purge(p *Proc) { c.waiters = removeProc(c.waiters, p) }
 
 // Wait parks p until another proc or event calls Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"lmas/internal/trace"
+)
+
+// TestShutdownPurgesResourceWaiters: killing procs parked in Acquire must
+// remove them from the resource's wait lists, not leave dangling pointers.
+func TestShutdownPurgesResourceWaiters(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	s.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(Duration(Forever)) // hold the resource forever
+		r.Release(p)
+	})
+	s.Spawn("waiter-low", func(p *Proc) { r.Use(p, Second) })
+	s.Spawn("waiter-high", func(p *Proc) { r.UseHigh(p, Second) })
+	s.RunFor(Second)
+	if r.QueueLen() != 2 {
+		t.Fatalf("QueueLen = %d before shutdown, want 2", r.QueueLen())
+	}
+	s.Shutdown()
+	if r.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d after shutdown, want 0", r.QueueLen())
+	}
+	if r.InUse() {
+		t.Fatal("resource still owned by a killed proc")
+	}
+}
+
+// TestDeadlockRunPurgesWaiters: the deadlock path through Run also kills
+// procs and must purge them the same way.
+func TestDeadlockRunPurgesWaiters(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	c := NewCond(s, "never")
+	s.Spawn("owner", func(p *Proc) {
+		r.Acquire(p)
+		c.Wait(p) // never signalled: deadlock
+		r.Release(p)
+	})
+	s.Spawn("waiter", func(p *Proc) { r.Use(p, Second) })
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected DeadlockError")
+	}
+	if r.QueueLen() != 0 || r.InUse() {
+		t.Fatalf("resource not purged: queue=%d inUse=%v", r.QueueLen(), r.InUse())
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("cond holds %d waiters after deadlock kill", c.Waiters())
+	}
+}
+
+// TestShutdownPurgesCondAndQueueWaiters: queue waiters block on internal
+// conds; a shutdown must leave those empty too.
+func TestShutdownPurgesCondAndQueueWaiters(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q", 1)
+	s.Spawn("getter", func(p *Proc) {
+		q.Get(p) // empty queue, never fed
+	})
+	s.Spawn("putter", func(p *Proc) {
+		q.Put(p, 1) // fills the queue
+		q.Put(p, 2) // blocks: queue full, never drained by a live getter?
+	})
+	// Run a moment: getter takes 1, putter puts 2, both may actually
+	// complete; use a cond-only blocker for the guaranteed-parked case.
+	c := NewCond(s, "forever")
+	s.Spawn("cond-waiter", func(p *Proc) { c.Wait(p) })
+	s.RunFor(Second)
+	s.Shutdown()
+	if c.Waiters() != 0 {
+		t.Fatalf("cond waiters = %d after shutdown, want 0", c.Waiters())
+	}
+	if got := q.notEmpty.Waiters() + q.notFull.Waiters(); got != 0 {
+		t.Fatalf("queue cond waiters = %d after shutdown, want 0", got)
+	}
+}
+
+// TestShutdownAccountsPartialHold: a proc killed while holding a resource
+// contributes its partial hold to Busy, as a Release at that instant would.
+func TestShutdownAccountsPartialHold(t *testing.T) {
+	s := New()
+	r := NewResource(s, "cpu")
+	s.Spawn("holder", func(p *Proc) { r.Use(p, 10*Second) })
+	s.RunFor(3 * Second)
+	s.Shutdown()
+	if got := r.Busy(); got != 3*Second {
+		t.Fatalf("Busy = %v after mid-hold shutdown, want 3s", got)
+	}
+}
+
+// TestTraceParkSpansBalanced: a traced run emits balanced begin/end park
+// spans on each proc track and lifecycle instants.
+func TestTraceParkSpansBalanced(t *testing.T) {
+	s := New()
+	sink := trace.New()
+	s.SetTracer(sink)
+	r := NewResource(s, "node.cpu")
+	for i := 0; i < 3; i++ {
+		s.Spawn("worker", func(p *Proc) {
+			r.Use(p, Second)
+			p.Sleep(Second)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Events() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	// 3 proc tracks plus the shared resource track.
+	if sink.Tracks() != 4 {
+		t.Fatalf("Tracks = %d, want 4", sink.Tracks())
+	}
+}
+
+// TestUntracedSimIdenticalTiming: attaching no tracer must not change any
+// virtual timing (the nil check is the only cost).
+func TestUntracedSimIdenticalTiming(t *testing.T) {
+	run := func(sink *trace.Sink) Time {
+		s := New()
+		s.SetTracer(sink)
+		r := NewResource(s, "cpu")
+		q := NewQueue[int](s, "q", 2)
+		s.Spawn("producer", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				r.Use(p, Millisecond)
+				q.Put(p, i)
+			}
+			q.Close()
+		})
+		s.Spawn("consumer", func(p *Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				p.Sleep(2 * Millisecond)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Now()
+	}
+	if a, b := run(nil), run(trace.New()); a != b {
+		t.Fatalf("traced run ended at %v, untraced at %v", b, a)
+	}
+}

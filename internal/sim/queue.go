@@ -1,6 +1,10 @@
 package sim
 
-import "errors"
+import (
+	"errors"
+
+	"lmas/internal/trace"
+)
 
 // ErrClosed is returned by Queue.Put on a closed queue.
 var ErrClosed = errors.New("sim: put on closed queue")
@@ -22,6 +26,8 @@ type Queue[T any] struct {
 
 	// stats
 	puts, gets uint64
+
+	track trace.Track // cached trace timeline for depth counters
 }
 
 // NewQueue creates a queue holding at most capacity elements.
@@ -37,6 +43,19 @@ func NewQueue[T any](s *Sim, name string, capacity int) *Queue[T] {
 		notEmpty: NewCond(s, name+" not-empty"),
 		notFull:  NewCond(s, name+" not-full"),
 	}
+}
+
+// traceDepth samples the queue depth onto the trace, so viewers render
+// buffer occupancy (and hence backpressure) as a stepped time series.
+func (q *Queue[T]) traceDepth() {
+	t := q.sim.tracer
+	if t == nil {
+		return
+	}
+	if q.track == 0 {
+		q.track = t.SharedTrack("queues", q.name)
+	}
+	t.Counter(q.track, int64(q.sim.now), "depth", int64(q.n))
 }
 
 // Len reports the number of buffered elements.
@@ -66,6 +85,7 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 	q.buf[(q.head+q.n)%len(q.buf)] = v
 	q.n++
 	q.puts++
+	q.traceDepth()
 	q.notEmpty.Signal()
 	return nil
 }
@@ -78,6 +98,7 @@ func (q *Queue[T]) TryPut(v T) bool {
 	q.buf[(q.head+q.n)%len(q.buf)] = v
 	q.n++
 	q.puts++
+	q.traceDepth()
 	q.notEmpty.Signal()
 	return true
 }
@@ -109,6 +130,7 @@ func (q *Queue[T]) take() T {
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	q.gets++
+	q.traceDepth()
 	q.notFull.Signal()
 	return v
 }

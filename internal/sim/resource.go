@@ -1,5 +1,7 @@
 package sim
 
+import "lmas/internal/trace"
+
 // Resource is an exclusive-use server with two-level priority queueing: a
 // CPU, a disk arm, or a network link endpoint. Procs acquire it, hold it
 // for some span of virtual time, and release it; contenders queue in
@@ -24,6 +26,9 @@ type Resource struct {
 	recorder  BusyRecorder
 
 	holds, priorityHolds int64
+
+	track      trace.Track // cached trace timeline, created on first traced hold
+	holdTraced bool        // whether the current hold opened a trace span
 }
 
 // BusyRecorder receives the [from, to) interval of every completed hold on
@@ -34,7 +39,19 @@ type BusyRecorder interface {
 
 // NewResource creates an idle resource.
 func NewResource(s *Sim, name string) *Resource {
-	return &Resource{sim: s, name: name}
+	r := &Resource{sim: s, name: name}
+	s.registerPurger(r)
+	return r
+}
+
+// traceTrack returns r's timeline in t, creating it on first use. Resources
+// rendezvous on their name, so a track pre-registered by cluster.AttachTrace
+// is reused here.
+func (r *Resource) traceTrack(t *trace.Sink) trace.Track {
+	if r.track == 0 {
+		r.track = t.SharedTrack(trace.GroupOf(r.name), r.name)
+	}
+	return r.track
 }
 
 // Name reports the resource's name.
@@ -75,6 +92,12 @@ func (r *Resource) take(p *Proc, high bool) {
 	if high {
 		r.priorityHolds++
 	}
+	r.holdTraced = false
+	if t := r.sim.tracer; t != nil {
+		r.holdTraced = true
+		t.Begin(r.traceTrack(t), int64(r.sim.now), "hold", "resource",
+			trace.Arg{Key: "proc", Val: p.name}, trace.Arg{Key: "high", Val: high})
+	}
 }
 
 // Release relinquishes r, handing it to the longest-waiting high-priority
@@ -88,6 +111,9 @@ func (r *Resource) Release(p *Proc) {
 	r.busy += held
 	if r.recorder != nil && held > 0 {
 		r.recorder.RecordBusy(r.busyStart, r.sim.now)
+	}
+	if t := r.sim.tracer; t != nil && r.holdTraced {
+		t.End(r.traceTrack(t), int64(r.sim.now))
 	}
 	var next *Proc
 	var wasHigh bool
@@ -138,3 +164,37 @@ func (r *Resource) QueueLen() int { return len(r.high) + len(r.low) }
 // Holds reports total completed-or-current holds and how many entered via
 // the high-priority path.
 func (r *Resource) Holds() (total, priority int64) { return r.holds, r.priorityHolds }
+
+// purge removes a killed proc from r's wait lists, and if the proc died
+// holding r, accounts the partial hold and frees the resource. Called by
+// killProcs so a shut-down sim leaves no dangling *Proc pointers behind.
+func (r *Resource) purge(p *Proc) {
+	r.high = removeProc(r.high, p)
+	r.low = removeProc(r.low, p)
+	if r.owner == p {
+		held := Duration(r.sim.now - r.busyStart)
+		r.busy += held
+		if r.recorder != nil && held > 0 {
+			r.recorder.RecordBusy(r.busyStart, r.sim.now)
+		}
+		if t := r.sim.tracer; t != nil && r.holdTraced {
+			t.End(r.traceTrack(t), int64(r.sim.now))
+		}
+		// No handoff: every contender is being killed too.
+		r.owner = nil
+	}
+}
+
+func removeProc(list []*Proc, p *Proc) []*Proc {
+	out := list[:0]
+	for _, q := range list {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	// Clear the tail so the backing array doesn't pin the removed proc.
+	for i := len(out); i < len(list); i++ {
+		list[i] = nil
+	}
+	return out
+}

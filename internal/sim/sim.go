@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"lmas/internal/trace"
 )
 
 // event is a scheduled callback. Events with equal times fire in schedule
@@ -47,7 +49,30 @@ type Sim struct {
 	// panicVal carries a panic out of a proc goroutine so runProc can
 	// rethrow it in the Run caller's stack.
 	panicVal any
+
+	// tracer, when non-nil, receives structured events from the kernel and
+	// from device models built on it. Untraced runs pay one nil check.
+	tracer *trace.Sink
+
+	// waitLists holds every wait-list owner (resources, conds) created on
+	// this sim, so killProcs can purge killed procs from their queues.
+	waitLists []purger
 }
+
+// purger is a wait-list owner that can remove a killed proc from its queue.
+type purger interface {
+	purge(p *Proc)
+}
+
+func (s *Sim) registerPurger(pg purger) { s.waitLists = append(s.waitLists, pg) }
+
+// SetTracer attaches a trace sink; nil detaches. Attach before spawning the
+// procs of interest: a proc's track is created at Spawn time.
+func (s *Sim) SetTracer(t *trace.Sink) { s.tracer = t }
+
+// Tracer returns the attached trace sink, or nil. Device models layered on
+// the sim (disk, netsim) record their transfers through it.
+func (s *Sim) Tracer() *trace.Sink { return s.tracer }
 
 // New creates an empty simulation at time zero.
 func New() *Sim {
@@ -89,6 +114,9 @@ type Proc struct {
 	killed bool
 	// blocked describes what the proc is waiting on, for deadlock reports.
 	blocked string
+	// track is this proc's trace timeline; zero when the sim is untraced or
+	// the proc was spawned before the tracer was attached.
+	track trace.Track
 }
 
 // Name reports the name the proc was spawned with.
@@ -107,6 +135,10 @@ type killedSentinel struct{ name string }
 // proc or event callback.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	if t := s.tracer; t != nil {
+		p.track = t.NewTrack("procs", name)
+		t.Instant(p.track, int64(s.now), "spawn", "proc")
+	}
 	s.procs[p] = true
 	go func() {
 		<-p.resume // wait for the scheduler to start us
@@ -120,6 +152,9 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 					s.parked <- struct{}{}
 					return
 				}
+				s.tracer.Instant(p.track, int64(s.now), "killed", "proc")
+			} else {
+				s.tracer.Instant(p.track, int64(s.now), "exit", "proc")
 			}
 			delete(s.procs, p)
 			s.parked <- struct{}{} // final handoff back to the scheduler
@@ -154,11 +189,43 @@ func (s *Sim) runProc(p *Proc) {
 // park suspends the calling proc until the scheduler resumes it. The caller
 // must have arranged for a wakeup (a scheduled event or a cond signal).
 func (p *Proc) park(why string) {
+	// The traced flag is local so a sink attached mid-park cannot see an
+	// End without its Begin.
+	t := p.sim.tracer
+	traced := t != nil && p.track != 0
+	if traced {
+		t.Begin(p.track, int64(p.sim.now), why, "park")
+	}
 	p.blocked = why
 	p.sim.parked <- struct{}{}
 	<-p.resume
+	if traced {
+		t.End(p.track, int64(p.sim.now))
+	}
 	if p.killed {
 		panic(killedSentinel{p.name})
+	}
+}
+
+// TraceBegin opens a span on the proc's trace track; close it with TraceEnd.
+// All trace methods no-op when the sim is untraced.
+func (p *Proc) TraceBegin(name, cat string, args ...trace.Arg) {
+	if t := p.sim.tracer; t != nil {
+		t.Begin(p.track, int64(p.sim.now), name, cat, args...)
+	}
+}
+
+// TraceEnd closes the innermost span opened with TraceBegin.
+func (p *Proc) TraceEnd(args ...trace.Arg) {
+	if t := p.sim.tracer; t != nil {
+		t.End(p.track, int64(p.sim.now), args...)
+	}
+}
+
+// TraceInstant records a point event on the proc's trace track.
+func (p *Proc) TraceInstant(name, cat string, args ...trace.Arg) {
+	if t := p.sim.tracer; t != nil {
+		t.Instant(p.track, int64(p.sim.now), name, cat, args...)
 	}
 }
 
@@ -231,9 +298,11 @@ func (s *Sim) RunFor(d Duration) {
 func (s *Sim) Shutdown() { s.killProcs() }
 
 func (s *Sim) killProcs() {
+	var killed []*Proc
 	for len(s.procs) > 0 {
 		for p := range s.procs {
 			p.killed = true
+			killed = append(killed, p)
 			p.resume <- struct{}{}
 			<-s.parked
 			break // map may have changed; restart iteration
@@ -241,4 +310,12 @@ func (s *Sim) killProcs() {
 	}
 	// Drop any queued events so a subsequent Run returns immediately.
 	s.events = s.events[:0]
+	// Killed procs may still be queued on resource or cond wait lists;
+	// purge those dangling pointers so the sim's resources stay usable
+	// (and inspectable) after a shutdown.
+	for _, p := range killed {
+		for _, wl := range s.waitLists {
+			wl.purge(p)
+		}
+	}
 }

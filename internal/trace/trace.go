@@ -1,0 +1,317 @@
+// Package trace records structured, typed events from a simulation run and
+// exports them as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) or as a flat CSV time series.
+//
+// The paper's emulator "is instrumented to report application progress,
+// overall runtime, and resource utilization for each host and ASU in the
+// target (emulated) system" (Section 5). A Sink is that instrument in
+// structured form: every emulated node, resource and thread of control gets
+// its own timeline (a track), and the instrumented layers — the sim kernel,
+// disks, network interfaces, and functor pipelines — append spans and
+// instants to it in virtual time.
+//
+// A Sink is attached to a simulation with sim.Sim.SetTracer (or
+// cluster.Cluster.AttachTrace, which also pre-registers node tracks in a
+// canonical order). A nil *Sink is a valid "tracing off" value: every method
+// no-ops on a nil receiver, so instrumented code pays a single pointer check
+// when tracing is disabled. Because the simulation is deterministic, the
+// same seed produces a byte-identical exported trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Time is a point in virtual time in nanoseconds, mirroring sim.Time without
+// importing it (the sim kernel imports this package, not the reverse).
+type Time = int64
+
+// Track identifies one timeline in the trace: an emulated resource (a CPU,
+// disk or NIC), a proc, or a queue. The zero Track is invalid.
+type Track int32
+
+// Arg is one key/value annotation on an event. Args are kept ordered so that
+// exports are deterministic.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event phases, following the Chrome trace-event format.
+const (
+	phaseBegin   = 'B' // span open
+	phaseEnd     = 'E' // span close
+	phaseSpan    = 'X' // complete span with duration
+	phaseInstant = 'i' // point event
+	phaseCounter = 'C' // counter sample
+)
+
+type trackInfo struct {
+	group int // index into groups
+	name  string
+}
+
+type event struct {
+	track Track
+	ph    byte
+	ts    Time
+	dur   Time // phaseSpan only
+	name  string
+	cat   string
+	args  []Arg
+}
+
+// Sink accumulates events for one simulation. Create one with New; the zero
+// value is not usable (but a nil *Sink is, as "tracing disabled").
+type Sink struct {
+	groups   []string
+	groupIdx map[string]int
+	tracks   []trackInfo // tracks[i] describes Track(i+1)
+	shared   map[string]Track
+	events   []event
+}
+
+// New creates an empty sink.
+func New() *Sink {
+	return &Sink{
+		groupIdx: make(map[string]int),
+		shared:   make(map[string]Track),
+	}
+}
+
+// GroupOf derives a track's display group from a dotted resource name:
+// "asu3.disk" belongs to group "asu3". Names without a dot group under
+// themselves.
+func GroupOf(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (s *Sink) group(name string) int {
+	if g, ok := s.groupIdx[name]; ok {
+		return g
+	}
+	g := len(s.groups)
+	s.groups = append(s.groups, name)
+	s.groupIdx[name] = g
+	return g
+}
+
+// SharedTrack returns the track named name in group, creating it on first
+// use. Repeated calls with the same name return the same track, so resources
+// and instrumentation layers can rendezvous on a timeline by name.
+func (s *Sink) SharedTrack(group, name string) Track {
+	if s == nil {
+		return 0
+	}
+	if tr, ok := s.shared[name]; ok {
+		return tr
+	}
+	tr := s.addTrack(group, name)
+	s.shared[name] = tr
+	return tr
+}
+
+// NewTrack creates a fresh track, never merging with an existing one of the
+// same name. Procs use it: two procs spawned with the same name must not
+// interleave spans on one timeline.
+func (s *Sink) NewTrack(group, name string) Track {
+	if s == nil {
+		return 0
+	}
+	return s.addTrack(group, name)
+}
+
+func (s *Sink) addTrack(group, name string) Track {
+	s.tracks = append(s.tracks, trackInfo{group: s.group(group), name: name})
+	return Track(len(s.tracks))
+}
+
+// Tracks reports the number of registered tracks.
+func (s *Sink) Tracks() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tracks)
+}
+
+// Events reports the number of recorded events.
+func (s *Sink) Events() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.events)
+}
+
+func (s *Sink) add(e event) {
+	if s == nil || e.track == 0 {
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// Begin opens a span on tr at ts. Spans on one track must nest: close them
+// with End in LIFO order.
+func (s *Sink) Begin(tr Track, ts Time, name, cat string, args ...Arg) {
+	s.add(event{track: tr, ph: phaseBegin, ts: ts, name: name, cat: cat, args: args})
+}
+
+// End closes the innermost open span on tr at ts.
+func (s *Sink) End(tr Track, ts Time, args ...Arg) {
+	s.add(event{track: tr, ph: phaseEnd, ts: ts, args: args})
+}
+
+// Span records a complete [from, to) span on tr. Unlike Begin/End pairs it
+// may be recorded before virtual time reaches `to` (device models book
+// transfers into the future), as long as successive spans on one track do
+// not move backwards.
+func (s *Sink) Span(tr Track, from, to Time, name, cat string, args ...Arg) {
+	if to < from {
+		to = from
+	}
+	s.add(event{track: tr, ph: phaseSpan, ts: from, dur: to - from, name: name, cat: cat, args: args})
+}
+
+// Instant records a point event on tr at ts.
+func (s *Sink) Instant(tr Track, ts Time, name, cat string, args ...Arg) {
+	s.add(event{track: tr, ph: phaseInstant, ts: ts, name: name, cat: cat, args: args})
+}
+
+// Counter records a sample of the named counter on tr at ts. Viewers render
+// successive samples as a stepped time series.
+func (s *Sink) Counter(tr Track, ts Time, name string, value int64) {
+	s.add(event{track: tr, ph: phaseCounter, ts: ts, name: name, args: []Arg{{Key: "value", Val: value}}})
+}
+
+// usec renders a virtual-time nanosecond stamp as the microseconds the
+// Chrome trace-event format expects, with fixed sub-microsecond precision so
+// output is byte-stable.
+func usec(t Time) string {
+	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
+}
+
+func writeJSONString(w *strings.Builder, v string) {
+	b, _ := json.Marshal(v)
+	w.Write(b)
+}
+
+func writeArgs(w *strings.Builder, args []Arg) error {
+	w.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		writeJSONString(w, a.Key)
+		w.WriteByte(':')
+		b, err := json.Marshal(a.Val)
+		if err != nil {
+			return fmt.Errorf("trace: arg %q: %w", a.Key, err)
+		}
+		w.Write(b)
+	}
+	w.WriteByte('}')
+	return nil
+}
+
+// WriteJSON exports the trace in Chrome trace-event JSON ("JSON object
+// format"): open the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Each track group becomes a process and each track a thread, named via
+// metadata events. Timestamps are virtual-time microseconds.
+func (s *Sink) WriteJSON(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString("\n")
+	}
+	for g, name := range s.groups {
+		sep()
+		fmt.Fprintf(&sb, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":`, g)
+		writeJSONString(&sb, name)
+		sb.WriteString(`}}`)
+	}
+	for i, ti := range s.tracks {
+		sep()
+		fmt.Fprintf(&sb, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":`, ti.group, i+1)
+		writeJSONString(&sb, ti.name)
+		sb.WriteString(`}}`)
+	}
+	for _, e := range s.events {
+		ti := s.tracks[e.track-1]
+		sep()
+		sb.WriteString(`{"name":`)
+		writeJSONString(&sb, e.name)
+		if e.cat != "" {
+			sb.WriteString(`,"cat":`)
+			writeJSONString(&sb, e.cat)
+		}
+		fmt.Fprintf(&sb, `,"ph":"%c","ts":%s`, e.ph, usec(e.ts))
+		if e.ph == phaseSpan {
+			fmt.Fprintf(&sb, `,"dur":%s`, usec(e.dur))
+		}
+		if e.ph == phaseInstant {
+			sb.WriteString(`,"s":"t"`) // thread-scoped instant
+		}
+		fmt.Fprintf(&sb, `,"pid":%d,"tid":%d`, ti.group, e.track)
+		if len(e.args) > 0 {
+			sb.WriteString(`,"args":`)
+			if err := writeArgs(&sb, e.args); err != nil {
+				return err
+			}
+		}
+		sb.WriteString(`}`)
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV exports the trace as a flat time series, one event per row:
+//
+//	ts_ns,dur_ns,phase,group,track,name,cat,args
+//
+// args are rendered as semicolon-separated key=value pairs. The CSV fallback
+// feeds plotting tools that do not speak the Chrome trace format.
+func (s *Sink) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("ts_ns,dur_ns,phase,group,track,name,cat,args\n")
+	if s != nil {
+		for _, e := range s.events {
+			ti := s.tracks[e.track-1]
+			var args strings.Builder
+			for i, a := range e.args {
+				if i > 0 {
+					args.WriteByte(';')
+				}
+				fmt.Fprintf(&args, "%s=%v", a.Key, a.Val)
+			}
+			fmt.Fprintf(&sb, "%d,%d,%c,%s,%s,%s,%s,%s\n",
+				e.ts, e.dur, e.ph,
+				csvField(s.groups[ti.group]), csvField(ti.name),
+				csvField(e.name), csvField(e.cat), csvField(args.String()))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvField(v string) string {
+	if strings.ContainsAny(v, ",\"\n") {
+		return `"` + strings.ReplaceAll(v, `"`, `""`) + `"`
+	}
+	return v
+}

@@ -44,6 +44,7 @@ import (
 	"lmas/internal/rtree"
 	"lmas/internal/sim"
 	"lmas/internal/terraflow"
+	"lmas/internal/trace"
 )
 
 // Emulated system.
@@ -65,6 +66,15 @@ type (
 
 // DefaultParams returns the baseline emulated configuration.
 func DefaultParams() Params { return cluster.DefaultParams() }
+
+// Trace is a structured trace sink recording typed events from an emulated
+// run in virtual time; export with WriteJSON (Perfetto/chrome://tracing) or
+// WriteCSV.
+type Trace = trace.Sink
+
+// NewTrace creates an empty trace sink; attach it to a cluster with
+// Cluster.AttachTrace before running.
+func NewTrace() *Trace { return trace.New() }
 
 // NewCluster builds an emulated system; it panics on invalid Params.
 func NewCluster(p Params) *Cluster { return cluster.New(p) }
