@@ -25,6 +25,8 @@ import (
 	"lmas/internal/dsmsort"
 	"lmas/internal/experiments"
 	"lmas/internal/records"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 	"lmas/internal/trace"
 )
 
@@ -120,6 +122,7 @@ func runFig10(args []string) error {
 	opt := experiments.DefaultFig10Options()
 	fs.IntVar(&opt.N, "n", opt.N, "input records")
 	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	report := fs.String("report", "", "write the load-managed run's RunReport here (and the static run's next to it as <name>.static.json)")
 	fs.Parse(args)
 	res, err := experiments.RunFig10(opt)
 	if err != nil {
@@ -127,6 +130,17 @@ func runFig10(args []string) error {
 	}
 	fmt.Println(res.Summary())
 	fmt.Println(res.Table())
+	if *report != "" {
+		if err := telemetry.WriteJSON(*report, res.Managed.Report); err != nil {
+			return err
+		}
+		staticPath := strings.TrimSuffix(*report, ".json") + ".static.json"
+		if err := telemetry.WriteJSON(staticPath, res.Static.Report); err != nil {
+			return err
+		}
+		fmt.Printf("reports: %s (load-managed), %s (static baseline) — compare with lmasreport diff\n",
+			*report, staticPath)
+	}
 	return nil
 }
 
@@ -263,6 +277,12 @@ func runAdapt(args []string) error {
 		return err
 	}
 	fmt.Println(res.Table())
+	for _, cell := range res.Cells {
+		for _, d := range cell.Decisions {
+			fmt.Printf("decision [%s] t=%.3fs %s: %s (%s)\n",
+				cell.Strategy, (sim.Duration(d.T)).Seconds(), d.Source, d.Action, d.Detail)
+		}
+	}
 	return nil
 }
 

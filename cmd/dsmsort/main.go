@@ -13,9 +13,9 @@ import (
 
 	"lmas/internal/cluster"
 	"lmas/internal/dsmsort"
-	"lmas/internal/records"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 	"lmas/internal/trace"
 )
 
@@ -35,6 +35,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload seed")
 		progress  = flag.Int("progress", 0, "progress sampling interval in virtual ms (0 = off)")
 		traceFile = flag.String("trace", "", "write a structured trace of the run (.json for Perfetto/chrome://tracing, .csv for a flat series)")
+		report    = flag.String("report", "", "write a machine-readable RunReport (JSON) of the run")
 	)
 	flag.Parse()
 
@@ -47,21 +48,13 @@ func main() {
 		sink = trace.New()
 		cl.AttachTrace(sink)
 	}
+	if *report != "" {
+		cl.AttachTelemetry(telemetry.NewRegistry(), 0)
+	}
 
-	var in *dsmsort.Input
-	switch *dist {
-	case "uniform":
-		in = dsmsort.MakeInput(cl, *n, records.Uniform{}, *seed, *packet)
-	case "exp":
-		in = dsmsort.MakeInput(cl, *n, records.Exponential{}, *seed, *packet)
-	case "zipf":
-		in = dsmsort.MakeInput(cl, *n, records.Zipf{}, *seed, *packet)
-	case "sorted":
-		in = dsmsort.MakeInput(cl, *n, &records.Sorted{}, *seed, *packet)
-	case "halves":
-		in = dsmsort.MakeInputHalves(cl, *n, records.Uniform{}, records.Exponential{}, *seed, *packet)
-	default:
-		fail(fmt.Errorf("unknown distribution %q", *dist))
+	in, err := dsmsort.MakeInputNamed(cl, *n, *dist, *seed, *packet)
+	if err != nil {
+		fail(err)
 	}
 
 	pol, err := route.ByName(*policy, *alpha, *seed)
@@ -122,6 +115,25 @@ func main() {
 		}
 		fmt.Printf("  trace: %d events on %d tracks -> %s\n",
 			sink.Events(), sink.Tracks(), *traceFile)
+	}
+	if *report != "" {
+		rep := cl.BuildReport("dsmsort", *seed, res.Elapsed)
+		rep.Workload = map[string]any{
+			"program":   "dsmsort",
+			"n":         *n,
+			"alpha":     *alpha,
+			"beta":      *beta,
+			"gamma2":    *gamma2,
+			"packet":    *packet,
+			"placement": cfg.Placement.String(),
+			"policy":    *policy,
+			"dist":      *dist,
+		}
+		if err := telemetry.WriteJSON(*report, rep); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  report: %d counters, %d histograms, %d decisions -> %s\n",
+			len(rep.Counters), len(rep.Histograms), len(rep.Decisions), *report)
 	}
 }
 

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"lmas/internal/experiments"
+	"lmas/internal/telemetry"
+)
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "small inputs for CI (seconds instead of minutes)")
+	out := fs.String("o", "", "output file (default BENCH_<date>.json)")
+	seed := fs.Int64("seed", 42, "workload seed shared by every cell")
+	stamp := fs.Bool("stamp", true,
+		"stamp the trajectory with wall-clock time; disable for byte-reproducible baselines")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+
+	tr, err := experiments.RunBench(*quick, *seed, func(spec experiments.SortRunSpec) {
+		fmt.Printf("bench: %-28s n=%d hosts=%d asus=%d policy=%s dist=%s\n",
+			spec.Name, spec.N, spec.Hosts, spec.ASUs, spec.Policy, spec.Dist)
+	})
+	if err != nil {
+		return err
+	}
+	tr.Quick = *quick
+	if *stamp {
+		tr.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	if err := telemetry.WriteJSON(path, tr); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d run(s) -> %s\n", len(tr.Runs), path)
+	return nil
+}

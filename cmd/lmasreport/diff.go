@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lmas/internal/metrics"
+	"lmas/internal/telemetry"
+)
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rt := fs.Float64("runtime-threshold", telemetry.DefaultDiffOptions().RuntimeThreshold,
+		"relative runtime growth that counts as a regression")
+	p99 := fs.Float64("p99-threshold", 0,
+		"relative p99 latency growth that counts as a regression (0 = informational only)")
+	quiet := fs.Bool("q", false, "print only regressions and the verdict")
+	files := parseMixed(fs, args)
+	if len(files) != 2 {
+		return fmt.Errorf("diff: want BASE and NEW report files, have %d arg(s)", len(files))
+	}
+	base, err := telemetry.ReadFile(files[0])
+	if err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+	next, err := telemetry.ReadFile(files[1])
+	if err != nil {
+		return fmt.Errorf("new: %w", err)
+	}
+
+	res := telemetry.Diff(base, next, telemetry.DiffOptions{
+		RuntimeThreshold: *rt,
+		P99Threshold:     *p99,
+	})
+
+	shown := 0
+	t := metrics.NewTable(fmt.Sprintf("Diff %s -> %s", files[0], files[1]),
+		"run", "field", "base", "new", "delta", "verdict")
+	for _, e := range res.Entries {
+		if *quiet && !e.Regressed {
+			continue
+		}
+		verdict := "ok"
+		if e.Regressed {
+			verdict = "REGRESSED"
+		} else if e.Note != "" {
+			verdict = e.Note
+		}
+		t.AddRow(e.Run, e.Field,
+			fmt.Sprintf("%.6g", e.Base), fmt.Sprintf("%.6g", e.New),
+			fmt.Sprintf("%+.1f%%", e.Delta*100), verdict)
+		shown++
+	}
+	if shown > 0 {
+		fmt.Println(t)
+	}
+	for _, m := range res.Missing {
+		fmt.Println(m)
+	}
+
+	if res.Regressed() {
+		n := 0
+		for _, e := range res.Entries {
+			if e.Regressed {
+				n++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "lmasreport diff: %d regression(s) past threshold\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions past thresholds")
+	return nil
+}

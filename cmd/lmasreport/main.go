@@ -1,0 +1,73 @@
+// Command lmasreport inspects and compares the machine-readable RunReports
+// the emulator emits (dsmsort -report, asulab fig10 -report), turning the
+// paper's "compare two runs" methodology into a repeatable CLI:
+//
+//	lmasreport show  run.json [-svg util.svg] [-all]
+//	lmasreport diff  base.json new.json [-runtime-threshold 0.10] [-p99-threshold T]
+//	lmasreport bench [-quick] [-o FILE] [-seed S]
+//
+// show renders paper-style tables (config, runtime, per-node utilization,
+// counters, latency quantiles, the load-manager decision log) and can plot
+// a Figure-10-style utilization-versus-time SVG. diff compares two reports
+// or bench trajectories field by field and exits non-zero when a gated
+// field regresses past its threshold — the CI regression gate. bench runs
+// the standard DSM-Sort matrix and writes one trajectory point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "show":
+		err = runShow(args)
+	case "diff":
+		err = runDiff(args)
+	case "bench":
+		err = runBench(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lmasreport: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lmasreport:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMixed parses args with fs, allowing flags to appear after positional
+// arguments (the stdlib flag package stops at the first non-flag). Returns
+// the positionals in order.
+func parseMixed(fs *flag.FlagSet, args []string) []string {
+	var pos []string
+	fs.Parse(args)
+	for fs.NArg() > 0 {
+		rest := fs.Args()
+		pos = append(pos, rest[0])
+		fs.Parse(rest[1:])
+	}
+	return pos
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `lmasreport — inspect and compare emulator run reports
+
+commands:
+  show  FILE [-svg OUT.svg] [-all]     render a report as tables (+ utilization plot)
+  diff  BASE NEW [-runtime-threshold R] [-p99-threshold P] [-q]
+                                       field-by-field comparison; exit 1 on regression
+  bench [-quick] [-o FILE] [-seed S] [-stamp=false]
+                                       run the DSM-Sort matrix, write a trajectory point`)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lmas/internal/metrics"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
+)
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	svgOut := fs.String("svg", "", "write a utilization-vs-time SVG plot (Figure-10 style)")
+	all := fs.Bool("all", false, "plot every node CPU, not just hosts (capped at 8 series)")
+	files := parseMixed(fs, args)
+	if len(files) != 1 {
+		return fmt.Errorf("show: want exactly one report file, have %d", len(files))
+	}
+	tr, err := telemetry.ReadFile(files[0])
+	if err != nil {
+		return err
+	}
+	for i, rep := range tr.Runs {
+		if i > 0 {
+			fmt.Println()
+		}
+		showReport(rep)
+	}
+	if *svgOut != "" {
+		if len(tr.Runs) != 1 {
+			return fmt.Errorf("show: -svg needs a single-run report, file has %d runs", len(tr.Runs))
+		}
+		svg, err := utilSVG(tr.Runs[0], *all)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*svgOut, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("utilization plot -> %s\n", *svgOut)
+	}
+	return nil
+}
+
+func showReport(rep *telemetry.RunReport) {
+	cfg := rep.Config
+	t := metrics.NewTable(fmt.Sprintf("Run %q (seed %d)", rep.Name, rep.Seed), "field", "value")
+	t.AddRow("runtime", fmt.Sprintf("%.4fs", rep.RuntimeSec))
+	t.AddRow("cluster", fmt.Sprintf("%d host(s) + %d ASU(s), c=%g", cfg.Hosts, cfg.ASUs, cfg.C))
+	t.AddRow("host rating", fmt.Sprintf("%.0f ops/s", cfg.HostOpsPerSec))
+	t.AddRow("disk", fmt.Sprintf("%.0f MB/s, %.1fms seek", cfg.DiskRateMBps, cfg.DiskSeekMs))
+	t.AddRow("network", fmt.Sprintf("%.0f MB/s, %.0fus latency", cfg.NetMBps, cfg.NetLatencyUs))
+	t.AddRow("record size", cfg.RecordSize)
+	for _, k := range sortedKeys(rep.Workload) {
+		t.AddRow("workload."+k, fmt.Sprint(rep.Workload[k]))
+	}
+	fmt.Println(t)
+
+	if len(rep.Nodes) > 0 {
+		t := metrics.NewTable("Mean utilization per node", "node", "kind", "cpu", "disk", "nic")
+		for _, n := range rep.Nodes {
+			t.AddRow(n.Name, n.Kind, meanOf(n.CPU), meanOf(n.Disk), meanOf(n.NIC))
+		}
+		fmt.Println(t)
+	}
+	if len(rep.Counters) > 0 {
+		t := metrics.NewTable("Counters", "name", "value")
+		for _, c := range rep.Counters {
+			t.AddRow(c.Name, c.Value)
+		}
+		fmt.Println(t)
+	}
+	if len(rep.Histograms) > 0 {
+		t := metrics.NewTable("Latency & service-time distributions (seconds)",
+			"name", "count", "mean", "p50", "p90", "p99", "max")
+		for _, h := range rep.Histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			t.AddRow(h.Name, h.Count,
+				fmt.Sprintf("%.2e", mean), fmt.Sprintf("%.2e", h.P50),
+				fmt.Sprintf("%.2e", h.P90), fmt.Sprintf("%.2e", h.P99),
+				fmt.Sprintf("%.2e", h.Max))
+		}
+		fmt.Println(t)
+	}
+	if len(rep.Decisions) > 0 {
+		fmt.Println("Load-manager decision log:")
+		for _, d := range rep.Decisions {
+			fmt.Printf("  t=%.3fs  %s  %s: %s\n",
+				(sim.Duration(d.T)).Seconds(), d.Source, d.Action, d.Detail)
+			for _, r := range d.Readings {
+				fmt.Printf("           %s = %.4g\n", r.Key, r.Value)
+			}
+		}
+	}
+}
+
+func meanOf(s *telemetry.UtilSeries) string {
+	if s == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", s.Mean)
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

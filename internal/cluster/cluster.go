@@ -18,6 +18,7 @@ import (
 	"lmas/internal/metrics"
 	"lmas/internal/netsim"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 	"lmas/internal/trace"
 )
 
@@ -187,6 +188,11 @@ type Node struct {
 	Quantum sim.Duration
 
 	CPUTrace *metrics.UtilTrace // non-nil when Params.UtilWindow > 0
+	// DiskTrace and NICTrace are attached by Cluster.AttachTelemetry so a
+	// RunReport can record per-node disk and network utilization alongside
+	// CPU. DiskTrace is nil on hosts.
+	DiskTrace *metrics.UtilTrace
+	NICTrace  *metrics.UtilTrace
 }
 
 // Compute spends ops of computation on this node's CPU, blocking p for the
@@ -239,6 +245,10 @@ type Cluster struct {
 	Net    *netsim.Net
 	Hosts  []*Node
 	ASUs   []*Node
+
+	// Telemetry is the run's instrument registry; nil (the default) means
+	// telemetry is off and instrumented code no-ops. Set via AttachTelemetry.
+	Telemetry *telemetry.Registry
 }
 
 // New builds a cluster on a fresh simulator. It panics if p is invalid; use
@@ -328,4 +338,63 @@ func (c *Cluster) Nodes() []*Node {
 // cost model and record size.
 func (c *Cluster) Touch(n *Node) float64 {
 	return c.Params.Costs.Touch(n.Kind, c.Params.RecordSize)
+}
+
+// AttachTelemetry installs an instrument registry and attaches utilization
+// traces of the given window width (0 means 100ms) to every node's CPU,
+// disk, and NIC. Call before spawning workload procs. The recorders and
+// instruments only observe busy intervals already being simulated, so
+// attaching telemetry never changes virtual-time behaviour: the same seed
+// completes at the same instant with or without it.
+func (c *Cluster) AttachTelemetry(reg *telemetry.Registry, window sim.Duration) {
+	c.Telemetry = reg
+	if reg == nil {
+		return
+	}
+	if window <= 0 {
+		window = 100 * sim.Millisecond
+	}
+	for _, n := range c.Nodes() {
+		if n.CPUTrace == nil { // Params.UtilWindow may already have attached one
+			n.CPUTrace = metrics.NewUtilTrace(n.Name+".cpu", window)
+			n.CPU.SetRecorder(n.CPUTrace)
+		}
+		if n.Disk != nil {
+			n.DiskTrace = metrics.NewUtilTrace(n.Name+".disk", window)
+			n.Disk.SetRecorder(n.DiskTrace)
+		}
+		n.NICTrace = metrics.NewUtilTrace(n.Name+".nic", window)
+		n.NIC.SetRecorder(n.NICTrace)
+	}
+}
+
+// BuildReport snapshots the cluster's configuration, per-node utilization
+// traces, and (when telemetry is attached) every registered instrument and
+// the decision audit log into a RunReport.
+func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *telemetry.RunReport {
+	p := c.Params
+	rep := telemetry.NewRunReport(name, seed, elapsed)
+	rep.Config = telemetry.ClusterConfig{
+		Hosts:         p.Hosts,
+		ASUs:          p.ASUs,
+		C:             p.C,
+		HostOpsPerSec: p.HostOpsPerSec,
+		DiskRateMBps:  p.DiskRate / 1e6,
+		DiskSeekMs:    p.DiskSeek.Seconds() * 1e3,
+		NetMBps:       p.NetBandwidth / 1e6,
+		NetLatencyUs:  p.NetLatency.Seconds() * 1e6,
+		RecordSize:    p.RecordSize,
+	}
+	for _, n := range c.Nodes() {
+		rep.Nodes = append(rep.Nodes, telemetry.NodeReport{
+			Name:      n.Name,
+			Kind:      n.Kind.String(),
+			OpsPerSec: n.OpsPerSec,
+			CPU:       telemetry.UtilSeriesOf(n.CPUTrace),
+			Disk:      telemetry.UtilSeriesOf(n.DiskTrace),
+			NIC:       telemetry.UtilSeriesOf(n.NICTrace),
+		})
+	}
+	c.Telemetry.Fill(rep)
+	return rep
 }

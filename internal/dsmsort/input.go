@@ -34,6 +34,26 @@ func MakeInputHalves(cl *cluster.Cluster, n int, first, second records.KeyDist, 
 	return loadInput(cl, buf, packetRecords)
 }
 
+// MakeInputNamed builds an input from a distribution name — the vocabulary
+// shared by the CLIs and the bench harness: uniform, exp, zipf, sorted, or
+// halves (uniform then exponential, the Figure 10 shift workload).
+func MakeInputNamed(cl *cluster.Cluster, n int, dist string, seed int64, packetRecords int) (*Input, error) {
+	switch dist {
+	case "uniform":
+		return MakeInput(cl, n, records.Uniform{}, seed, packetRecords), nil
+	case "exp":
+		return MakeInput(cl, n, records.Exponential{}, seed, packetRecords), nil
+	case "zipf":
+		return MakeInput(cl, n, records.Zipf{}, seed, packetRecords), nil
+	case "sorted":
+		return MakeInput(cl, n, &records.Sorted{}, seed, packetRecords), nil
+	case "halves":
+		return MakeInputHalves(cl, n, records.Uniform{}, records.Exponential{}, seed, packetRecords), nil
+	default:
+		return nil, fmt.Errorf("dsmsort: unknown distribution %q", dist)
+	}
+}
+
 func loadInput(cl *cluster.Cluster, buf records.Buffer, packetRecords int) *Input {
 	if packetRecords < 1 {
 		panic("dsmsort: packetRecords must be >= 1")

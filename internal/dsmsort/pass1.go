@@ -158,6 +158,12 @@ func RunFormation(cl *cluster.Cluster, cfg Config, in *Input) (*RunStore, *Pass1
 	if sortPolicy == nil {
 		sortPolicy = route.Static{Buckets: cfg.Alpha}
 	}
+	if cl.Telemetry != nil {
+		// Count per-sorter routing decisions so the report shows how the
+		// policy actually spread packets. Counted delegates Pick, so the
+		// routed destinations — and hence timings — are unchanged.
+		sortPolicy = &route.Counted{Inner: sortPolicy, Reg: cl.Telemetry, Prefix: "route.sort"}
+	}
 
 	var sorterStage, distStage *functor.Stage
 	var edges []*functor.Edge
@@ -281,6 +287,13 @@ func RunFormation(cl *cluster.Cluster, cfg Config, in *Input) (*RunStore, *Pass1
 	}
 	if err := rs.sortedRunsOK(cfg.Alpha); err != nil {
 		return nil, nil, err
+	}
+	if reg := cl.Telemetry; reg != nil {
+		reg.Counter("dsmsort.pass1.runs").Add(int64(res.Runs))
+		reg.Counter("dsmsort.pass1.net_bytes").Add(res.NetBytes)
+		reg.Counter("dsmsort.pass1.host_ops").Add(int64(res.HostOps))
+		reg.Counter("dsmsort.pass1.asu_ops").Add(int64(res.ASUOps))
+		reg.Gauge("dsmsort.pass1.elapsed_sec").Set(cl.Sim.Now(), res.Elapsed.Seconds())
 	}
 	return rs, res, nil
 }

@@ -251,6 +251,12 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 		return nil, nil, fmt.Errorf("dsmsort: merge pass failed: %w", err)
 	}
 	res.Elapsed = sim.Duration(cl.Sim.Now() - start)
+	if reg := cl.Telemetry; reg != nil {
+		reg.Counter("dsmsort.merge.levels").Add(int64(res.ASUMergeLevels))
+		reg.Counter("dsmsort.merge.host_ops").Add(int64(res.HostOps))
+		reg.Counter("dsmsort.merge.asu_ops").Add(int64(res.ASUOps))
+		reg.Gauge("dsmsort.merge.elapsed_sec").Set(cl.Sim.Now(), res.Elapsed.Seconds())
+	}
 	return out, res, nil
 }
 

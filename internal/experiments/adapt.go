@@ -12,6 +12,7 @@ import (
 	"lmas/internal/records"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 )
 
 // AdaptOptions parameterizes TAB-ADAPT: mid-run adaptation. The run starts
@@ -59,6 +60,10 @@ type AdaptCell struct {
 	Imbalance float64
 	// SwitchedAt is when adaptation fired (adaptive strategy only).
 	SwitchedAt sim.Time
+	// Decisions is the run's load-manager audit log: the imbalance
+	// trigger (with the utilization readings that fired it) followed by
+	// the routing-policy switch (with per-sorter backlogs).
+	Decisions []telemetry.Decision
 }
 
 // AdaptResult holds the comparison.
@@ -99,6 +104,8 @@ func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
 	params.Hosts, params.ASUs = opt.Hosts, opt.ASUs
 	params.UtilWindow = opt.Window
 	cl := cluster.New(params)
+	reg := telemetry.NewRegistry()
+	cl.AttachTelemetry(reg, opt.Window)
 	recSize := params.RecordSize
 
 	// Figure 10 input: uniform first half, skewed second half.
@@ -149,6 +156,7 @@ func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
 			Window:      opt.Window,
 			Threshold:   opt.Threshold,
 			Consecutive: opt.Consecutive,
+			Audit:       reg,
 		}
 		watch.Spawn(cl, cl.Hosts, &done, func() {
 			edge.SetPolicy(route.NewSR(opt.Seed))
@@ -160,6 +168,7 @@ func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
 	if err := cl.Sim.Run(); err != nil {
 		return AdaptCell{}, err
 	}
+	pl.FlushTelemetry()
 	// Elapsed is measured at pipeline completion, excluding the watch's
 	// trailing sampling window.
 	elapsed := sim.Duration(finishedAt - start)
@@ -171,6 +180,7 @@ func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
 		Strategy:  strategy,
 		Elapsed:   elapsed,
 		Imbalance: loadmgr.Imbalance(traces, int(elapsed/sim.Duration(opt.Window))),
+		Decisions: reg.Decisions(),
 	}
 	if watch != nil && watch.Fired() {
 		cell.SwitchedAt = watch.FiredAt

@@ -10,6 +10,7 @@ import (
 	"lmas/internal/records"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 )
 
 // Fig10Options parameterizes the Figure 10 reproduction: "Utilization of
@@ -67,6 +68,9 @@ type Fig10Run struct {
 	// Imbalance is the mean utilization spread across hosts over the
 	// run (0 = perfectly balanced).
 	Imbalance float64
+	// Report is the run's full telemetry snapshot (utilization series,
+	// stage instruments, routing counters).
+	Report *telemetry.RunReport
 }
 
 // Fig10Result holds both runs.
@@ -116,6 +120,7 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		params.ASUs = opt.ASUs
 		params.UtilWindow = opt.Window
 		cl := cluster.New(params)
+		cl.AttachTelemetry(telemetry.NewRegistry(), opt.Window)
 		in := dsmsort.MakeInputHalves(cl, opt.N, records.Uniform{},
 			records.Exponential{Mean: opt.SkewMean}, opt.Seed, opt.PacketRecords)
 		cfg := dsmsort.Config{
@@ -137,6 +142,16 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		}
 		n := int(r.Elapsed / sim.Duration(opt.Window))
 		run.Imbalance = loadmgr.Imbalance(run.HostUtil, n)
+		run.Report = cl.BuildReport("fig10-"+name, opt.Seed, r.Elapsed)
+		run.Report.Workload = map[string]any{
+			"program": "dsmsort-pass1",
+			"n":       opt.N,
+			"alpha":   opt.Alpha,
+			"beta":    opt.Beta,
+			"packet":  opt.PacketRecords,
+			"policy":  name,
+			"dist":    "halves",
+		}
 		return run, nil
 	}
 	var err error

@@ -184,13 +184,14 @@ func runIsolationCell(opt IsolationOptions, quantum sim.Duration) (IsolationCell
 	if err := cl.Sim.Run(); err != nil {
 		return IsolationCell{}, err
 	}
+	sum := metrics.NewSummary(latencies) // sorts once for all three quantiles
 	return IsolationCell{
 		Quantum:  quantum,
 		SortSecs: (sim.Duration(cl.Sim.Now() - start)).Seconds(),
-		P50:      metrics.Percentile(latencies, 50),
-		P99:      metrics.Percentile(latencies, 99),
-		Max:      metrics.Percentile(latencies, 100),
-		Requests: len(latencies),
+		P50:      sum.P50(),
+		P99:      sum.P99(),
+		Max:      sum.Max(),
+		Requests: sum.Count(),
 	}, nil
 }
 

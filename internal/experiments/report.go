@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
+	"lmas/internal/route"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
+)
+
+// SortRunSpec names one fully parameterized DSM-Sort execution — the unit
+// of the bench matrix and of `dsmsort -report`.
+type SortRunSpec struct {
+	Name          string
+	N             int
+	Hosts, ASUs   int
+	C             float64
+	Alpha, Beta   int
+	Gamma2        int
+	PacketRecords int
+	Placement     dsmsort.Placement
+	Policy        string // route.ByName vocabulary
+	Dist          string // dsmsort.MakeInputNamed vocabulary
+	Seed          int64
+	// UtilWindow sets the report's utilization window (0 = 100ms default).
+	UtilWindow sim.Duration
+}
+
+// RunSortReport executes spec with telemetry attached and returns the run
+// report alongside the raw result. The input-loading phase runs before
+// AttachTelemetry's traces see any activity it shouldn't; utilization
+// series therefore cover load + sort, exactly what the simulator executed.
+func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, error) {
+	params := cluster.DefaultParams()
+	params.Hosts, params.ASUs, params.C = spec.Hosts, spec.ASUs, spec.C
+	cl := cluster.New(params)
+	cl.AttachTelemetry(telemetry.NewRegistry(), spec.UtilWindow)
+
+	in, err := dsmsort.MakeInputNamed(cl, spec.N, spec.Dist, spec.Seed, spec.PacketRecords)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	pol, err := route.ByName(spec.Policy, spec.Alpha, spec.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	cfg := dsmsort.Config{
+		Alpha:         spec.Alpha,
+		Beta:          spec.Beta,
+		Gamma2:        spec.Gamma2,
+		PacketRecords: spec.PacketRecords,
+		Placement:     spec.Placement,
+		SortPolicy:    pol,
+		Seed:          spec.Seed,
+	}
+	res, err := dsmsort.Sort(cl, cfg, in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	rep := cl.BuildReport(spec.Name, spec.Seed, res.Elapsed)
+	rep.Workload = map[string]any{
+		"program":   "dsmsort",
+		"n":         spec.N,
+		"alpha":     spec.Alpha,
+		"beta":      spec.Beta,
+		"gamma2":    spec.Gamma2,
+		"packet":    spec.PacketRecords,
+		"placement": spec.Placement.String(),
+		"policy":    spec.Policy,
+		"dist":      spec.Dist,
+	}
+	return rep, res, nil
+}
+
+// BenchMatrix is the standard DSM-Sort benchmark: the paper's placements
+// crossed with the routing/workload combinations its figures hinge on —
+// active vs conventional (Figure 9), static vs SR routing on the shifted
+// workload (Figure 10), and the hybrid migrating placement. Quick shrinks
+// the input for CI.
+func BenchMatrix(quick bool, seed int64) []SortRunSpec {
+	n := 1 << 17
+	if quick {
+		n = 1 << 14
+	}
+	base := func(name string) SortRunSpec {
+		return SortRunSpec{
+			Name:          name,
+			N:             n,
+			Hosts:         2,
+			ASUs:          8,
+			C:             8,
+			Alpha:         16,
+			Beta:          1 << 10,
+			Gamma2:        16,
+			PacketRecords: 64,
+			Placement:     dsmsort.Active,
+			Policy:        "static",
+			Dist:          "uniform",
+			Seed:          seed,
+		}
+	}
+	active := base("active-static-uniform")
+	activeHalves := base("active-static-halves")
+	activeHalves.Dist = "halves"
+	activeSR := base("active-sr-halves")
+	activeSR.Policy = "sr"
+	activeSR.Dist = "halves"
+	conv := base("conventional-static-uniform")
+	conv.Placement = dsmsort.Conventional
+	hybrid := base("hybrid-static-uniform")
+	hybrid.Placement = dsmsort.Hybrid
+	return []SortRunSpec{active, activeHalves, activeSR, conv, hybrid}
+}
+
+// RunBench executes the bench matrix and assembles a trajectory point. The
+// caller stamps GeneratedAt (wall-clock time stays out of this package so
+// runs are reproducible byte for byte).
+func RunBench(quick bool, seed int64, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
+	tr := &telemetry.Trajectory{Schema: telemetry.TrajectorySchema, Quick: quick}
+	for _, spec := range BenchMatrix(quick, seed) {
+		if progress != nil {
+			progress(spec)
+		}
+		rep, _, err := RunSortReport(spec)
+		if err != nil {
+			return nil, err
+		}
+		tr.Runs = append(tr.Runs, rep)
+	}
+	return tr, nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"lmas/internal/cluster"
+	"lmas/internal/dsmsort"
+	"lmas/internal/route"
+	"lmas/internal/telemetry"
+)
+
+func smallSpec() SortRunSpec {
+	return SortRunSpec{
+		Name:          "small",
+		N:             1 << 12,
+		Hosts:         1,
+		ASUs:          4,
+		C:             8,
+		Alpha:         8,
+		Beta:          256,
+		Gamma2:        8,
+		PacketRecords: 64,
+		Placement:     dsmsort.Active,
+		Policy:        "sr", // randomized, so determinism is a real claim
+		Dist:          "halves",
+		Seed:          42,
+	}
+}
+
+// TestRunReportByteIdentical: the same spec and seed must produce the same
+// JSON, byte for byte — the property `lmasreport diff` and the CI gate rely
+// on.
+func TestRunReportByteIdentical(t *testing.T) {
+	run := func() []byte {
+		rep, _, err := RunSortReport(smallSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := telemetry.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ between identical runs:\n%.2000s\n---\n%.2000s", a, b)
+	}
+}
+
+// TestTelemetryDoesNotPerturbTiming: attaching a registry must leave the
+// simulated completion time of a run unchanged — telemetry observes, it
+// never participates.
+func TestTelemetryDoesNotPerturbTiming(t *testing.T) {
+	run := func(attach bool) (elapsed float64) {
+		spec := smallSpec()
+		params := cluster.DefaultParams()
+		params.Hosts, params.ASUs, params.C = spec.Hosts, spec.ASUs, spec.C
+		cl := cluster.New(params)
+		if attach {
+			cl.AttachTelemetry(telemetry.NewRegistry(), 0)
+		}
+		in, err := dsmsort.MakeInputNamed(cl, spec.N, spec.Dist, spec.Seed, spec.PacketRecords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := route.ByName(spec.Policy, spec.Alpha, spec.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := dsmsort.Config{
+			Alpha:         spec.Alpha,
+			Beta:          spec.Beta,
+			Gamma2:        spec.Gamma2,
+			PacketRecords: spec.PacketRecords,
+			Placement:     spec.Placement,
+			SortPolicy:    pol,
+			Seed:          spec.Seed,
+		}
+		res, err := dsmsort.Sort(cl, cfg, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds()
+	}
+	with, without := run(true), run(false)
+	if with != without {
+		t.Fatalf("telemetry changed simulated time: %v with, %v without", with, without)
+	}
+}
+
+// TestRunSortReportContents sanity-checks the snapshot: utilization for
+// every node, the stage instruments, routing counters, and workload echo.
+func TestRunSortReportContents(t *testing.T) {
+	rep, res, err := RunSortReport(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RuntimeNs != int64(res.Elapsed) {
+		t.Fatalf("runtime mismatch: %d vs %d", rep.RuntimeNs, int64(res.Elapsed))
+	}
+	if len(rep.Nodes) != 5 { // 1 host + 4 ASUs
+		t.Fatalf("nodes = %d", len(rep.Nodes))
+	}
+	for _, n := range rep.Nodes {
+		if n.CPU == nil {
+			t.Fatalf("node %s has no CPU series", n.Name)
+		}
+		if n.Kind == "asu" && n.Disk == nil {
+			t.Fatalf("ASU %s has no disk series", n.Name)
+		}
+	}
+	counters := map[string]int64{}
+	for _, c := range rep.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["functor.distribute.records"] != int64(smallSpec().N) {
+		t.Fatalf("distribute records = %d, want %d",
+			counters["functor.distribute.records"], smallSpec().N)
+	}
+	if counters["dsmsort.pass1.runs"] == 0 {
+		t.Fatal("pass1 runs counter missing")
+	}
+	// The Counted wrapper records per-sorter routing picks.
+	var picks int64
+	for name, v := range counters {
+		if len(name) > 11 && name[:11] == "route.sort." {
+			picks += v
+		}
+	}
+	if picks == 0 {
+		t.Fatal("no routing pick counters recorded")
+	}
+	var seenWait bool
+	for _, h := range rep.Histograms {
+		if h.Name == "functor.blocksort.queue_wait" && h.Count > 0 {
+			seenWait = true
+		}
+	}
+	if !seenWait {
+		t.Fatal("blocksort queue-wait histogram empty")
+	}
+	if rep.Workload["dist"] != "halves" {
+		t.Fatalf("workload echo wrong: %+v", rep.Workload)
+	}
+}
+
+// TestAdaptDecisionAudit: the adaptive strategy must log the imbalance
+// trigger and the resulting policy switch.
+func TestAdaptDecisionAudit(t *testing.T) {
+	opt := DefaultAdaptOptions()
+	opt.N = 1 << 14
+	cell, err := runAdaptCell(opt, "adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cell.SwitchedAt > 0) {
+		t.Skip("adaptation did not fire at this size; audit not exercised")
+	}
+	var sawTrigger, sawSwitch bool
+	for _, d := range cell.Decisions {
+		switch d.Source {
+		case "loadmgr.imbalance-watch":
+			sawTrigger = true
+			if len(d.Readings) < 2 {
+				t.Fatalf("trigger decision has no utilization readings: %+v", d)
+			}
+		case "route.blocksort":
+			sawSwitch = true
+			if d.Detail != "static->sr" {
+				t.Fatalf("switch detail = %q", d.Detail)
+			}
+		}
+	}
+	if !sawTrigger || !sawSwitch {
+		t.Fatalf("audit incomplete (trigger=%v switch=%v): %+v", sawTrigger, sawSwitch, cell.Decisions)
+	}
+}

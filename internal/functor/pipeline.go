@@ -7,6 +7,7 @@ import (
 	"lmas/internal/container"
 	"lmas/internal/route"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 	"lmas/internal/trace"
 )
 
@@ -33,6 +34,12 @@ type Instance struct {
 	out *sim.Queue[container.Packet]
 
 	kernel Kernel
+
+	// enqAt mirrors the inbox FIFO with each packet's enqueue instant, so
+	// run can report queue wait without touching the packet format. Edge
+	// deliver appends and run pops — the only Put/Get sites for instance
+	// inboxes — and only when the cluster has telemetry attached.
+	enqAt []sim.Time
 
 	// Stats.
 	PacketsIn, RecordsIn   int64
@@ -117,13 +124,44 @@ func (e *Edge) deliver(ctx *Ctx, pk container.Packet) {
 	if err := dest.In.Put(ctx.Proc, pk); err != nil {
 		panic(fmt.Sprintf("functor: deliver to closed inbox %s", dest.Label()))
 	}
+	if reg := e.to.pipeline.cl.Telemetry; reg != nil {
+		// No other proc can run between Put returning and this append
+		// (code between blocking calls is atomic), so enqAt stays in
+		// FIFO lockstep with the inbox even with several producers.
+		dest.enqAt = append(dest.enqAt, ctx.Proc.Now())
+		// Sparse backlog sampling: a gauge point every 64th delivery, not
+		// a periodic sampler proc — a sampler's trailing wakeups would
+		// extend the simulated run past pipeline completion.
+		if e.Packets%64 == 0 {
+			total := 0
+			for _, ep := range e.eps {
+				total += ep.Pending()
+			}
+			reg.Gauge("functor."+e.to.Name+".backlog").Set(ctx.Proc.Now(), float64(total))
+		}
+	}
 }
 
 // SetPolicy replaces the edge's routing policy. Safe to call from any proc
 // or event while the pipeline runs (the simulation is single-threaded);
 // this is the lever mid-run load management pulls when it detects an
-// imbalance.
-func (e *Edge) SetPolicy(p route.Policy) { e.policy = p }
+// imbalance. With telemetry attached, the switch lands in the decision
+// audit log with each destination's backlog at the moment of the change.
+func (e *Edge) SetPolicy(p route.Policy) {
+	if reg := e.to.pipeline.cl.Telemetry; reg != nil && len(e.eps) > 0 {
+		old := "none"
+		if e.policy != nil {
+			old = e.policy.Name()
+		}
+		readings := make([]telemetry.Reading, len(e.eps))
+		for i, ep := range e.eps {
+			readings[i] = telemetry.Reading{Key: ep.Label() + ".pending", Value: float64(ep.Pending())}
+		}
+		reg.Decide(e.to.pipeline.cl.Sim.Now(), "route."+e.to.Name, "set-policy",
+			old+"->"+p.Name(), readings...)
+	}
+	e.policy = p
+}
 
 // Policy reports the edge's current routing policy.
 func (e *Edge) Policy() route.Policy { return e.policy }
@@ -360,6 +398,13 @@ func (in *Instance) run(proc *sim.Proc) {
 	ctx := &Ctx{Cluster: in.Stage.pipeline.cl, Node: in.Node, Proc: proc, Instance: in}
 	cm := ctx.Cluster.Params.Costs
 	touch := ctx.Cluster.Touch(in.Node)
+	// Telemetry instruments (nil when telemetry is off; Observe no-ops).
+	var waitH, svcH, latH *telemetry.Histogram
+	if reg := ctx.Cluster.Telemetry; reg != nil {
+		waitH = reg.Histogram("functor."+in.Stage.Name+".queue_wait", nil)
+		svcH = reg.Histogram("functor."+in.Stage.Name+".service", nil)
+		latH = reg.Histogram("functor."+in.Stage.Name+".latency", nil)
+	}
 	emit := func(pk container.Packet) {
 		in.PacketsOut++
 		in.RecordsOut += int64(pk.Len())
@@ -374,6 +419,13 @@ func (in *Instance) run(proc *sim.Proc) {
 		if !ok {
 			break
 		}
+		var wait sim.Duration
+		if len(in.enqAt) > 0 { // in FIFO lockstep with the inbox
+			wait = sim.Duration(proc.Now() - in.enqAt[0])
+			in.enqAt = in.enqAt[1:]
+			waitH.ObserveDuration(wait)
+		}
+		svcStart := proc.Now()
 		in.PacketsIn++
 		in.RecordsIn += int64(pk.Len())
 		proc.TraceBegin("packet", "functor", trace.Arg{Key: "records", Val: pk.Len()})
@@ -383,6 +435,9 @@ func (in *Instance) run(proc *sim.Proc) {
 			in.Node.Compute(proc, ops)
 		}
 		in.kernel.Process(ctx, pk, emit)
+		svc := sim.Duration(proc.Now() - svcStart)
+		svcH.ObserveDuration(svc)
+		latH.ObserveDuration(wait + svc)
 		proc.TraceEnd()
 	}
 	in.kernel.Flush(ctx, emit)
@@ -393,12 +448,52 @@ func (in *Instance) run(proc *sim.Proc) {
 }
 
 // Run is a convenience: Start the pipeline and run the simulator to
-// completion, returning the elapsed virtual time.
+// completion, returning the elapsed virtual time. With telemetry attached,
+// per-stage totals (packets, records, ops, cross-node traffic) are flushed
+// to counters when the pipeline drains.
 func (p *Pipeline) Run() (sim.Duration, error) {
 	start := p.cl.Sim.Now()
 	p.Start()
 	if err := p.cl.Sim.Run(); err != nil {
 		return 0, err
 	}
+	p.FlushTelemetry()
 	return sim.Duration(p.cl.Sim.Now() - start), nil
+}
+
+// FlushTelemetry records each stage's totals as counters on the cluster's
+// registry. Run calls it automatically; callers driving Start and the
+// simulator themselves should call it once the pipeline has drained. No-op
+// without telemetry.
+func (p *Pipeline) FlushTelemetry() {
+	reg := p.cl.Telemetry
+	if reg == nil {
+		return
+	}
+	for _, st := range p.stages {
+		var pks, recs int64
+		var ops float64
+		for _, inst := range st.instances {
+			pks += inst.PacketsIn
+			recs += inst.RecordsIn
+			ops += inst.OpsCharged
+		}
+		pre := "functor." + st.Name
+		reg.Counter(pre + ".packets").Add(pks)
+		reg.Counter(pre + ".records").Add(recs)
+		reg.Counter(pre + ".ops").Add(int64(ops))
+		if e, ok := st.out.(*Edge); ok {
+			reg.Counter(pre + ".out.net_bytes").Add(e.NetBytes)
+			reg.Counter(pre + ".out.cross_node").Add(e.CrossNode)
+		}
+	}
+	var srcBytes, srcCross int64
+	for _, src := range p.sources {
+		if e, ok := src.out.(*Edge); ok {
+			srcBytes += e.NetBytes
+			srcCross += e.CrossNode
+		}
+	}
+	reg.Counter("functor.sources.net_bytes").Add(srcBytes)
+	reg.Counter("functor.sources.cross_node").Add(srcCross)
 }

@@ -3,6 +3,7 @@ package loadmgr
 import (
 	"lmas/internal/cluster"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 )
 
 // ImbalanceWatch monitors a set of nodes' CPUs during a run and invokes a
@@ -21,6 +22,11 @@ type ImbalanceWatch struct {
 	// Consecutive is how many imbalanced windows in a row trigger the
 	// callback.
 	Consecutive int
+
+	// Audit, when non-nil, receives a decision-log entry each time the
+	// watch fires, recording the per-node utilization readings that
+	// triggered the reconfiguration.
+	Audit *telemetry.Registry
 
 	// FiredAt records when the callback ran (zero if never).
 	FiredAt sim.Time
@@ -44,10 +50,12 @@ func (w *ImbalanceWatch) Spawn(cl *cluster.Cluster, nodes []*cluster.Node, stop 
 				return
 			}
 			lo, hi := 1.0, 0.0
+			utils := make([]float64, len(nodes))
 			for i, n := range nodes {
 				busy := n.CPU.Busy()
 				util := float64(busy-prev[i]) / float64(w.Window)
 				prev[i] = busy
+				utils[i] = util
 				if util < lo {
 					lo = util
 				}
@@ -63,6 +71,17 @@ func (w *ImbalanceWatch) Spawn(cl *cluster.Cluster, nodes []*cluster.Node, stop 
 			if streak >= w.Consecutive {
 				w.fired = true
 				w.FiredAt = p.Now()
+				if w.Audit != nil {
+					readings := make([]telemetry.Reading, 0, len(nodes)+1)
+					for i, n := range nodes {
+						readings = append(readings,
+							telemetry.Reading{Key: n.Name + ".util", Value: utils[i]})
+					}
+					readings = append(readings,
+						telemetry.Reading{Key: "spread", Value: hi - lo})
+					w.Audit.Decide(p.Now(), "loadmgr.imbalance-watch", "imbalance-detected",
+						"spread exceeded threshold; invoking reconfiguration", readings...)
+				}
 				onImbalance()
 				return
 			}

@@ -9,10 +9,13 @@
 package loadmgr
 
 import (
+	"fmt"
 	"math"
 
 	"lmas/internal/cluster"
 	"lmas/internal/metrics"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 )
 
 // Pass1Model predicts the throughput of DSM-Sort's run-formation pass from
@@ -102,17 +105,30 @@ func minRate(rates []float64) float64 {
 // use of available processing power". Ties go to the smaller alpha (less
 // ASU buffer pressure).
 func ChooseAlpha(p cluster.Params, candidates []int, beta int) int {
+	return ChooseAlphaAudited(nil, 0, p, candidates, beta)
+}
+
+// ChooseAlphaAudited is ChooseAlpha with a decision-log entry: each
+// candidate's predicted speedup lands as a reading, and the chosen alpha as
+// the detail, timestamped at now. A nil registry makes it plain ChooseAlpha.
+func ChooseAlphaAudited(reg *telemetry.Registry, now sim.Time, p cluster.Params, candidates []int, beta int) int {
 	if len(candidates) == 0 {
 		panic("loadmgr: no alpha candidates")
 	}
 	m := Pass1Model{Params: p}
 	best, bestSp := candidates[0], math.Inf(-1)
+	readings := make([]telemetry.Reading, 0, len(candidates))
 	for _, a := range candidates {
 		sp := m.PredictSpeedup(a, beta)
+		readings = append(readings, telemetry.Reading{
+			Key: fmt.Sprintf("predicted-speedup.alpha=%d", a), Value: sp,
+		})
 		if sp > bestSp+1e-12 {
 			best, bestSp = a, sp
 		}
 	}
+	reg.Decide(now, "loadmgr.choose-alpha", "select-parameter",
+		fmt.Sprintf("alpha=%d (beta=%d)", best, beta), readings...)
 	return best
 }
 

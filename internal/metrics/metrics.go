@@ -164,13 +164,22 @@ func (t *Table) String() string {
 		sb.WriteString(t.Title)
 		sb.WriteByte('\n')
 	}
-	widths := make([]int, len(t.Headers))
+	// Size widths by the widest row, not just the headers, so a row with
+	// more cells than headers renders (with empty header padding) instead
+	// of panicking on widths[i].
+	cols := len(t.Headers)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -199,27 +208,79 @@ func (t *Table) String() string {
 }
 
 // Percentile reports the q'th percentile (0..100) of samples, by nearest
-// rank over a sorted copy. It returns 0 for an empty slice.
+// rank over a sorted copy. It returns 0 for an empty slice. Callers needing
+// several percentiles of one sample set should build a Summary instead,
+// which sorts once.
 func Percentile(samples []sim.Duration, q float64) sim.Duration {
-	if len(samples) == 0 {
+	return NewSummary(samples).Percentile(q)
+}
+
+// Summary serves order statistics of a fixed sample set. The constructor
+// copies and sorts once; every Percentile call is then O(1), unlike the
+// package-level Percentile which re-sorts a fresh copy per call.
+type Summary struct {
+	sorted []sim.Duration
+	sum    sim.Duration
+}
+
+// NewSummary copies and sorts samples. A nil or empty slice yields a valid
+// Summary whose accessors all report zero.
+func NewSummary(samples []sim.Duration) *Summary {
+	s := &Summary{sorted: append([]sim.Duration(nil), samples...)}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	for _, d := range s.sorted {
+		s.sum += d
+	}
+	return s
+}
+
+// Count reports the number of samples.
+func (s *Summary) Count() int { return len(s.sorted) }
+
+// Min reports the smallest sample (zero when empty).
+func (s *Summary) Min() sim.Duration { return s.Percentile(0) }
+
+// Max reports the largest sample (zero when empty).
+func (s *Summary) Max() sim.Duration { return s.Percentile(100) }
+
+// Mean reports the arithmetic mean (zero when empty).
+func (s *Summary) Mean() sim.Duration {
+	if len(s.sorted) == 0 {
 		return 0
 	}
-	s := append([]sim.Duration(nil), samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s.sum / sim.Duration(len(s.sorted))
+}
+
+// P50 reports the median.
+func (s *Summary) P50() sim.Duration { return s.Percentile(50) }
+
+// P90 reports the 90th percentile.
+func (s *Summary) P90() sim.Duration { return s.Percentile(90) }
+
+// P99 reports the 99th percentile.
+func (s *Summary) P99() sim.Duration { return s.Percentile(99) }
+
+// Percentile reports the q'th percentile (0..100) by nearest rank. It
+// returns 0 for an empty summary.
+func (s *Summary) Percentile(q float64) sim.Duration {
+	n := len(s.sorted)
+	if n == 0 {
+		return 0
+	}
 	if q <= 0 {
-		return s[0]
+		return s.sorted[0]
 	}
 	if q >= 100 {
-		return s[len(s)-1]
+		return s.sorted[n-1]
 	}
-	rank := int(q/100*float64(len(s))+0.5) - 1
+	rank := int(q/100*float64(n)+0.5) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(s) {
-		rank = len(s) - 1
+	if rank >= n {
+		rank = n - 1
 	}
-	return s[rank]
+	return s.sorted[rank]
 }
 
 // Counters is a named set of monotonically increasing counters.
@@ -230,8 +291,15 @@ type Counters struct {
 // NewCounters creates an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
 
-// Add increments counter name by delta.
-func (c *Counters) Add(name string, delta int64) { c.m[name] += delta }
+// Add increments counter name by delta. Counters are monotonic: a negative
+// delta panics rather than silently corrupting a value documented as
+// monotonically increasing.
+func (c *Counters) Add(name string, delta int64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("metrics: negative delta %d for monotonic counter %q", delta, name))
+	}
+	c.m[name] += delta
+}
 
 // Get reports the value of counter name (zero if never incremented).
 func (c *Counters) Get(name string) int64 { return c.m[name] }

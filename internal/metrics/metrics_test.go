@@ -160,6 +160,18 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableWideRow is the regression test for the writeRow panic: a row
+// with more cells than headers used to index past the widths slice.
+func TestTableWideRow(t *testing.T) {
+	tab := NewTable("Wide", "a", "b")
+	tab.AddRow(1, 2, 3, "extra")
+	tab.AddRow("longer-cell-than-header", 2)
+	s := tab.String() // must not panic
+	if !strings.Contains(s, "extra") || !strings.Contains(s, "longer-cell-than-header") {
+		t.Fatalf("cells missing:\n%s", s)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := NewCounters()
 	c.Add("reads", 3)
@@ -170,6 +182,41 @@ func TestCounters(t *testing.T) {
 	}
 	if got := c.String(); got != "reads=5 writes=1" {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCountersNegativeDeltaPanics(t *testing.T) {
+	c := NewCounters()
+	c.Add("ok", 0) // zero delta is allowed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delta on monotonic counter")
+		}
+	}()
+	c.Add("reads", -1)
+}
+
+func TestSummary(t *testing.T) {
+	samples := []sim.Duration{50, 10, 40, 20, 30}
+	s := NewSummary(samples)
+	if s.Count() != 5 || s.Min() != 10 || s.Max() != 50 || s.Mean() != 30 {
+		t.Fatalf("Count/Min/Max/Mean = %d/%v/%v/%v", s.Count(), s.Min(), s.Max(), s.Mean())
+	}
+	if s.P50() != 30 || s.P90() != 50 || s.P99() != 50 {
+		t.Fatalf("P50/P90/P99 = %v/%v/%v", s.P50(), s.P90(), s.P99())
+	}
+	// Summary and the package-level Percentile must agree at every rank.
+	for _, q := range []float64{0, 20, 50, 90, 99, 100} {
+		if s.Percentile(q) != Percentile(samples, q) {
+			t.Fatalf("Summary.Percentile(%v) disagrees with Percentile", q)
+		}
+	}
+	if samples[0] != 50 {
+		t.Error("NewSummary mutated its input")
+	}
+	empty := NewSummary(nil)
+	if empty.Count() != 0 || empty.P99() != 0 || empty.Mean() != 0 {
+		t.Error("empty summary must report zeros")
 	}
 }
 

@@ -12,6 +12,8 @@ package route
 import (
 	"fmt"
 	"math/rand"
+
+	"lmas/internal/telemetry"
 )
 
 // PacketInfo is the routing-relevant summary of a packet.
@@ -156,4 +158,34 @@ func ByName(name string, buckets int, seed int64) (Policy, error) {
 	default:
 		return nil, fmt.Errorf("route: unknown policy %q", name)
 	}
+}
+
+// Counted wraps a policy and counts routing decisions per destination
+// endpoint on a telemetry registry, so a RunReport records how a policy
+// actually spread the load (the paper's Table 3 "poor distribution of
+// records" diagnosis, made machine-readable). Counters are named
+// "<prefix>.<endpoint label>.picks". A nil registry makes the wrapper
+// transparent.
+type Counted struct {
+	Inner  Policy
+	Reg    *telemetry.Registry
+	Prefix string
+
+	byEp []*telemetry.Counter
+}
+
+// Name reports the wrapped policy's name (Counted is invisible to
+// policy-selection logic and decision logs).
+func (c *Counted) Name() string { return c.Inner.Name() }
+
+func (c *Counted) Pick(pk PacketInfo, eps []Endpoint) int {
+	i := c.Inner.Pick(pk, eps)
+	if c.Reg != nil {
+		for len(c.byEp) < len(eps) {
+			n := len(c.byEp)
+			c.byEp = append(c.byEp, c.Reg.Counter(c.Prefix+"."+eps[n].Label()+".picks"))
+		}
+		c.byEp[i].Inc()
+	}
+	return i
 }

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"lmas/internal/metrics"
+	"lmas/internal/sim"
+)
+
+// ReportSchema identifies the single-run report format.
+const ReportSchema = "lmas/runreport/v1"
+
+// TrajectorySchema identifies the multi-run bench trajectory format.
+const TrajectorySchema = "lmas/bench/v1"
+
+// ClusterConfig is the cluster parameterization echoed into every report so
+// a diff can refuse to compare apples to oranges.
+type ClusterConfig struct {
+	Hosts         int     `json:"hosts"`
+	ASUs          int     `json:"asus"`
+	C             float64 `json:"c"`
+	HostOpsPerSec float64 `json:"host_ops_per_sec"`
+	DiskRateMBps  float64 `json:"disk_rate_mbps"`
+	DiskSeekMs    float64 `json:"disk_seek_ms"`
+	NetMBps       float64 `json:"net_mbps"`
+	NetLatencyUs  float64 `json:"net_latency_us"`
+	RecordSize    int     `json:"record_size"`
+}
+
+// UtilSeries is one resource's utilization-versus-time trace, windowed as in
+// Figure 10. Util values are rounded to 1e-6 so reports are byte-stable.
+type UtilSeries struct {
+	WindowSec float64   `json:"window_sec"`
+	Mean      float64   `json:"mean"`
+	TS        []float64 `json:"ts_sec"`
+	Util      []float64 `json:"util"`
+}
+
+// round6 keeps float output short and stable; 1e-6 is far below anything the
+// utilization windows can resolve.
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// UtilSeriesOf converts a metrics.UtilTrace; nil in, nil out.
+func UtilSeriesOf(u *metrics.UtilTrace) *UtilSeries {
+	if u == nil || u.Len() == 0 {
+		return nil
+	}
+	ts, util := u.Series()
+	s := &UtilSeries{
+		WindowSec: u.Window.Seconds(),
+		Mean:      round6(u.Mean(0)),
+		TS:        make([]float64, len(ts)),
+		Util:      make([]float64, len(util)),
+	}
+	for i := range ts {
+		s.TS[i] = round6(ts[i])
+		s.Util[i] = round6(util[i])
+	}
+	return s
+}
+
+// NodeReport is one emulated node's resource record.
+type NodeReport struct {
+	Name      string      `json:"name"`
+	Kind      string      `json:"kind"`
+	OpsPerSec float64     `json:"ops_per_sec"`
+	CPU       *UtilSeries `json:"cpu,omitempty"`
+	Disk      *UtilSeries `json:"disk,omitempty"`
+	NIC       *UtilSeries `json:"nic,omitempty"`
+}
+
+// CounterReport is one counter's final value.
+type CounterReport struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeReport is one gauge's sampled series.
+type GaugeReport struct {
+	Name    string        `json:"name"`
+	Samples []GaugeSample `json:"samples"`
+}
+
+// HistogramReport is one histogram's buckets and summary statistics.
+type HistogramReport struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// RunReport is the machine-readable record of one simulation run: what was
+// configured, how long it took, how busy every resource was, every registered
+// instrument, and the load manager's decision audit log. Reports are
+// deterministic: the same seed and configuration produce byte-identical JSON.
+type RunReport struct {
+	Schema     string            `json:"schema"`
+	Name       string            `json:"name"`
+	Seed       int64             `json:"seed"`
+	Config     ClusterConfig     `json:"config"`
+	Workload   map[string]any    `json:"workload,omitempty"`
+	RuntimeSec float64           `json:"runtime_sec"`
+	RuntimeNs  int64             `json:"runtime_ns"`
+	Nodes      []NodeReport      `json:"nodes"`
+	Counters   []CounterReport   `json:"counters,omitempty"`
+	Gauges     []GaugeReport     `json:"gauges,omitempty"`
+	Histograms []HistogramReport `json:"histograms,omitempty"`
+	Decisions  []Decision        `json:"decisions,omitempty"`
+}
+
+// Trajectory is a multi-run bench file: one point on the performance
+// trajectory of the codebase, diffable against a committed baseline.
+type Trajectory struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at,omitempty"`
+	Quick       bool         `json:"quick"`
+	Runs        []*RunReport `json:"runs"`
+}
+
+// Fill snapshots every registered instrument and the decision log into rep.
+// Instruments are sorted by name; decisions keep record order. Safe on a nil
+// registry (leaves rep's instrument sections empty).
+func (r *Registry) Fill(rep *RunReport) {
+	if r == nil {
+		return
+	}
+	for _, c := range r.counters {
+		rep.Counters = append(rep.Counters, CounterReport{Name: c.name, Value: c.v})
+	}
+	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
+	for _, g := range r.gauges {
+		if len(g.samples) == 0 {
+			continue
+		}
+		rep.Gauges = append(rep.Gauges, GaugeReport{Name: g.name, Samples: g.samples})
+	}
+	sort.Slice(rep.Gauges, func(i, j int) bool { return rep.Gauges[i].Name < rep.Gauges[j].Name })
+	for _, h := range r.hists {
+		if h.count == 0 {
+			continue
+		}
+		rep.Histograms = append(rep.Histograms, HistogramReport{
+			Name:   h.name,
+			Bounds: h.bounds,
+			Counts: h.counts,
+			Count:  h.count,
+			Sum:    round6(h.sum),
+			Min:    round6(h.min),
+			Max:    round6(h.max),
+			P50:    round6(h.Quantile(0.50)),
+			P90:    round6(h.Quantile(0.90)),
+			P99:    round6(h.Quantile(0.99)),
+		})
+	}
+	sort.Slice(rep.Histograms, func(i, j int) bool { return rep.Histograms[i].Name < rep.Histograms[j].Name })
+	rep.Decisions = r.decisions
+}
+
+// NewRunReport stamps the schema and the run identity/duration.
+func NewRunReport(name string, seed int64, elapsed sim.Duration) *RunReport {
+	return &RunReport{
+		Schema:     ReportSchema,
+		Name:       name,
+		Seed:       seed,
+		RuntimeSec: round6(elapsed.Seconds()),
+		RuntimeNs:  int64(elapsed),
+	}
+}
+
+// Marshal renders a report or trajectory as indented JSON with a trailing
+// newline. encoding/json writes map keys sorted and floats canonically, so
+// output is byte-stable for identical inputs.
+func Marshal(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes a report or trajectory to path.
+func WriteJSON(path string, v any) error {
+	b, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile loads path, which may hold either a single RunReport or a bench
+// Trajectory; a single report comes back as a one-run trajectory so callers
+// handle both shapes uniformly.
+func ReadFile(path string) (*Trajectory, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch probe.Schema {
+	case ReportSchema:
+		var rep RunReport
+		if err := json.Unmarshal(b, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &Trajectory{Schema: TrajectorySchema, Runs: []*RunReport{&rep}}, nil
+	case TrajectorySchema:
+		var tr Trajectory
+		if err := json.Unmarshal(b, &tr); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &tr, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q (want %q or %q)",
+			path, probe.Schema, ReportSchema, TrajectorySchema)
+	}
+}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(10, 1.5)
+	if g.Last() != 0 || g.Samples() != nil {
+		t.Fatal("nil gauge recorded")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	h.ObserveDuration(sim.Second)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	r.Decide(0, "s", "a", "d")
+	if r.Decisions() != nil {
+		t.Fatal("nil registry logged a decision")
+	}
+	var rep RunReport
+	r.Fill(&rep)
+	if rep.Counters != nil || rep.Histograms != nil {
+		t.Fatal("nil registry filled a report")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("packets")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	if r.Counter("packets") != c {
+		t.Fatal("get-or-create returned a new counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delta")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestInstrumentKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("name")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic registering a gauge over a counter")
+		}
+	}()
+	r.Gauge("name")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("backlog")
+	g.Set(100, 2)
+	g.Set(200, 5)
+	if g.Last() != 5 || len(g.Samples()) != 2 {
+		t.Fatalf("Last=%v len=%d", g.Last(), len(g.Samples()))
+	}
+	if g.Samples()[0] != (GaugeSample{T: 100, V: 2}) {
+		t.Fatalf("sample[0] = %+v", g.Samples()[0])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	want := []int64{1, 2, 1, 1} // <=1, <=10, <=100, overflow
+	for i, w := range want {
+		if h.counts[i] != w {
+			t.Fatalf("counts[%d] = %d, want %d", i, h.counts[i], w)
+		}
+	}
+	if h.min != 0.5 || h.max != 500 {
+		t.Fatalf("min/max = %v/%v", h.min, h.max)
+	}
+	// Quantiles are monotone in q and clamped to [min, max].
+	prev := h.Quantile(0)
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v)=%v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(0) != 0.5 || h.Quantile(1) != 500 {
+		t.Fatalf("extremes = %v/%v", h.Quantile(0), h.Quantile(1))
+	}
+	if got := h.Quantile(0.5); got < 1 || got > 10 {
+		t.Fatalf("median %v outside containing bucket (1,10]", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-ascending bounds")
+		}
+	}()
+	r.Histogram("bad", []float64{1, 1})
+}
+
+func TestDecisions(t *testing.T) {
+	r := NewRegistry()
+	r.Decide(500, "loadmgr", "switch-policy", "static->sr",
+		Reading{Key: "host0.util", Value: 0.95},
+		Reading{Key: "host1.util", Value: 0.20})
+	ds := r.Decisions()
+	if len(ds) != 1 || ds[0].T != 500 || ds[0].Source != "loadmgr" || len(ds[0].Readings) != 2 {
+		t.Fatalf("decisions = %+v", ds)
+	}
+}
+
+// TestReportDeterministicJSON: filling and marshaling the same instrument
+// state twice yields byte-identical output.
+func TestReportDeterministicJSON(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		r.Counter("b.count").Add(7)
+		r.Counter("a.count").Add(3)
+		g := r.Gauge("backlog")
+		g.Set(10, 1)
+		g.Set(20, 4)
+		h := r.Histogram("lat", nil)
+		h.ObserveDuration(3 * sim.Millisecond)
+		h.ObserveDuration(40 * sim.Microsecond)
+		r.Decide(100, "route.sort", "switch-policy", "static->sr")
+		rep := NewRunReport("unit", 42, 2*sim.Second)
+		rep.Config = ClusterConfig{Hosts: 2, ASUs: 4}
+		rep.Workload = map[string]any{"n": 1024, "dist": "uniform"}
+		r.Fill(rep)
+		b, err := Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report JSON not byte-identical:\n%s\n---\n%s", a, b)
+	}
+	s := string(a)
+	// Counters sorted by name regardless of registration order.
+	if strings.Index(s, "a.count") > strings.Index(s, "b.count") {
+		t.Fatal("counters not sorted by name")
+	}
+	if !strings.Contains(s, `"schema": "lmas/runreport/v1"`) {
+		t.Fatal("schema missing")
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewRunReport("rt", 7, sim.Second)
+	rep.Config = ClusterConfig{Hosts: 1, ASUs: 2}
+	single := dir + "/single.json"
+	if err := WriteJSON(single, rep); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 1 || tr.Runs[0].Name != "rt" || tr.Runs[0].Seed != 7 {
+		t.Fatalf("single round trip: %+v", tr.Runs)
+	}
+
+	traj := &Trajectory{Schema: TrajectorySchema, Quick: true, Runs: []*RunReport{rep, NewRunReport("rt2", 8, 2*sim.Second)}}
+	multi := dir + "/multi.json"
+	if err := WriteJSON(multi, traj); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadFile(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Runs) != 2 || !tr2.Quick {
+		t.Fatalf("trajectory round trip: %+v", tr2)
+	}
+
+	bad := dir + "/bad.json"
+	if err := WriteJSON(bad, map[string]string{"schema": "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+// TestDiffDetectsRuntimeRegression is the acceptance check: a 2x runtime
+// slowdown must regress; a small wobble must not.
+func TestDiffDetectsRuntimeRegression(t *testing.T) {
+	base := NewRunReport("sort", 42, 10*sim.Second)
+	slow := NewRunReport("sort", 42, 20*sim.Second)
+	res := Diff(
+		&Trajectory{Runs: []*RunReport{base}},
+		&Trajectory{Runs: []*RunReport{slow}},
+		DefaultDiffOptions(),
+	)
+	if !res.Regressed() {
+		t.Fatal("2x slowdown not flagged as regression")
+	}
+
+	wobble := NewRunReport("sort", 42, sim.Duration(10.5*float64(sim.Second)))
+	res = Diff(
+		&Trajectory{Runs: []*RunReport{base}},
+		&Trajectory{Runs: []*RunReport{wobble}},
+		DefaultDiffOptions(),
+	)
+	if res.Regressed() {
+		t.Fatal("5% wobble flagged under a 10% threshold")
+	}
+
+	// A speedup never regresses.
+	fast := NewRunReport("sort", 42, 5*sim.Second)
+	res = Diff(
+		&Trajectory{Runs: []*RunReport{base}},
+		&Trajectory{Runs: []*RunReport{fast}},
+		DefaultDiffOptions(),
+	)
+	if res.Regressed() {
+		t.Fatal("2x speedup flagged as regression")
+	}
+}
+
+func TestDiffP99AndMismatches(t *testing.T) {
+	mkRep := func(p99 float64) *RunReport {
+		rep := NewRunReport("r", 1, sim.Second)
+		rep.Histograms = []HistogramReport{{Name: "lat", P99: p99, Count: 10}}
+		return rep
+	}
+	opt := DiffOptions{RuntimeThreshold: 0.10, P99Threshold: 0.25}
+	res := Diff(
+		&Trajectory{Runs: []*RunReport{mkRep(0.010)}},
+		&Trajectory{Runs: []*RunReport{mkRep(0.020)}},
+		opt,
+	)
+	if !res.Regressed() {
+		t.Fatal("2x p99 not flagged with p99 gate enabled")
+	}
+
+	// Unmatched runs land in Missing, not Entries.
+	res = Diff(
+		&Trajectory{Runs: []*RunReport{NewRunReport("only-base", 1, sim.Second)}},
+		&Trajectory{Runs: []*RunReport{NewRunReport("only-new", 1, sim.Second)}},
+		DefaultDiffOptions(),
+	)
+	if len(res.Missing) != 2 || res.Regressed() {
+		t.Fatalf("missing = %v, regressed = %v", res.Missing, res.Regressed())
+	}
+
+	// Config mismatch is a note, never a regression.
+	a := NewRunReport("r", 1, sim.Second)
+	a.Config = ClusterConfig{Hosts: 2}
+	b := NewRunReport("r", 2, sim.Second)
+	b.Config = ClusterConfig{Hosts: 4}
+	res = Diff(&Trajectory{Runs: []*RunReport{a}}, &Trajectory{Runs: []*RunReport{b}}, DefaultDiffOptions())
+	if res.Regressed() {
+		t.Fatal("config/seed mismatch treated as regression")
+	}
+	var sawConfig, sawSeed bool
+	for _, e := range res.Entries {
+		switch e.Field {
+		case "config":
+			sawConfig = true
+		case "seed":
+			sawSeed = true
+		}
+	}
+	if !sawConfig || !sawSeed {
+		t.Fatalf("config/seed notes missing: %+v", res.Entries)
+	}
+}
