@@ -1,0 +1,29 @@
+# Convenience targets for the lmas emulation library. Everything here is a
+# thin wrapper over the go tool; no target is required by CI or the build.
+
+.PHONY: all build test race bench bench-smoke baseline
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Full benchmark suite (figures/tables + kernel microbenchmarks).
+bench:
+	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches broken benchmark code fast.
+bench-smoke:
+	go test -bench=. -benchtime=1x ./...
+
+# Regenerate the CI perf-gate baseline after an INTENTIONAL performance
+# change (simulated runtimes moved for a good reason). -stamp=false keeps
+# the file byte-reproducible; commit the result.
+baseline:
+	go run ./cmd/lmasreport bench -quick -stamp=false -o bench/baseline.json

@@ -13,6 +13,7 @@ import (
 
 	"lmas/internal/cluster"
 	"lmas/internal/dsmsort"
+	"lmas/internal/prof"
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -36,8 +37,16 @@ func main() {
 		progress  = flag.Int("progress", 0, "progress sampling interval in virtual ms (0 = off)")
 		traceFile = flag.String("trace", "", "write a structured trace of the run (.json for Perfetto/chrome://tracing, .csv for a flat series)")
 		report    = flag.String("report", "", "write a machine-readable RunReport (JSON) of the run")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = *hosts, *asus, *c

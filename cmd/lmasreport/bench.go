@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lmas/internal/experiments"
+	"lmas/internal/prof"
 	"lmas/internal/telemetry"
 )
 
@@ -14,8 +15,12 @@ func runBench(args []string) error {
 	quick := fs.Bool("quick", false, "small inputs for CI (seconds instead of minutes)")
 	out := fs.String("o", "", "output file (default BENCH_<date>.json)")
 	seed := fs.Int64("seed", 42, "workload seed shared by every cell")
+	jobs := fs.Int("j", 0,
+		"max concurrent bench cells (0 = one per CPU); output is identical for every value")
 	stamp := fs.Bool("stamp", true,
 		"stamp the trajectory with wall-clock time; disable for byte-reproducible baselines")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
@@ -25,7 +30,13 @@ func runBench(args []string) error {
 		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
 
-	tr, err := experiments.RunBench(*quick, *seed, func(spec experiments.SortRunSpec) {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	tr, err := experiments.RunBench(*quick, *seed, *jobs, func(spec experiments.SortRunSpec) {
 		fmt.Printf("bench: %-28s n=%d hosts=%d asus=%d policy=%s dist=%s\n",
 			spec.Name, spec.N, spec.Hosts, spec.ASUs, spec.Policy, spec.Dist)
 	})

@@ -1,7 +1,6 @@
 package dsmsort
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -9,6 +8,7 @@ import (
 	"lmas/internal/cluster"
 	"lmas/internal/container"
 	"lmas/internal/records"
+	"lmas/internal/scratch"
 	"lmas/internal/sim"
 )
 
@@ -100,18 +100,76 @@ type MergeResult struct {
 	ASUOps         float64
 }
 
-// mergeHeap is a loser-tree-equivalent k-way merge frontier.
+// mergeHeap is a loser-tree-equivalent k-way merge frontier. It is a
+// hand-rolled binary heap rather than container/heap because heap.Pop
+// boxes every popped item into an interface value — one allocation per
+// exhausted merge source — and the merge frontier sits in the hottest
+// emulation-host loop of the merge pass.
 type mergeItem struct {
 	key records.Key
 	src int
 }
 type mergeHeap []mergeItem
 
-func (h mergeHeap) Len() int           { return len(h) }
-func (h mergeHeap) Less(i, j int) bool { return h[i].key < h[j].key }
-func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+// siftDown restores the heap property below index i.
+func (h mergeHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h[l].key < h[least].key {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h[r].key < h[least].key {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// init heapifies h in place.
+func (h mergeHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// fixTop restores the heap property after the root's key changed.
+func (h mergeHeap) fixTop() { h.siftDown(0) }
+
+// popTop removes the root (its merge source is exhausted).
+func (h *mergeHeap) popTop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).siftDown(0)
+}
+
+// mergeScratch is pooled per-merge working memory: the frontier heap and
+// cursor slices that every k-way merge needs. Output buffers are NOT here:
+// they escape into packets and streams, which own them.
+type mergeScratch struct {
+	h     mergeHeap
+	pos   []int
+	heads []container.Packet
+}
+
+var mergePool scratch.Pool[mergeScratch]
+
+// putMergeScratch returns sc to the pool with packet references cleared so
+// pooled scratch never pins record buffers.
+func putMergeScratch(sc *mergeScratch) {
+	sc.h = sc.h[:0]
+	for i := range sc.heads {
+		sc.heads[i] = container.Packet{}
+	}
+	sc.heads = sc.heads[:0]
+	mergePool.Put(sc)
+}
 
 // mergeBuffers merges k sorted buffers into one sorted buffer (pure
 // computation; callers charge the CPU cost separately).
@@ -121,16 +179,18 @@ func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
 		total += b.Len()
 	}
 	out := records.NewBuffer(total, recSize)
-	pos := make([]int, len(bufs))
-	var h mergeHeap
+	sc := mergePool.Get()
+	pos := scratch.Grow(sc.pos, len(bufs))
+	h := sc.h[:0]
 	for i, b := range bufs {
+		pos[i] = 0
 		if b.Len() > 0 {
 			h = append(h, mergeItem{key: b.Key(0), src: i})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 	w := 0
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		it := h[0]
 		b := bufs[it.src]
 		copy(out.Record(w), b.Record(pos[it.src]))
@@ -138,11 +198,13 @@ func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
 		pos[it.src]++
 		if pos[it.src] < b.Len() {
 			h[0] = mergeItem{key: b.Key(pos[it.src]), src: it.src}
-			heap.Fix(&h, 0)
+			h.fixTop()
 		} else {
-			heap.Pop(&h)
+			h.popTop()
 		}
 	}
+	sc.pos, sc.h = pos, h
+	putMergeScratch(sc)
 	return out
 }
 
@@ -310,14 +372,18 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 	}
 	levels++
 	// Final level: streaming γ2-way merge emitting packets to the host.
-	frontier := make([]int, len(runs))
-	var h mergeHeap
+	// The scratch is held across queue parks: the proc owns it exclusively
+	// until the merge completes, which is exactly the pool contract.
+	msc := mergePool.Get()
+	frontier := scratch.Grow(msc.pos, len(runs))
+	h := msc.h[:0]
 	for i, b := range runs {
+		frontier[i] = 0
 		if b.Len() > 0 {
 			h = append(h, mergeItem{key: b.Key(0), src: i})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
 	fill := 0
 	flush := func() {
@@ -336,7 +402,7 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
 		fill = 0
 	}
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		it := h[0]
 		b := runs[it.src]
 		copy(outBuf.Record(fill), b.Record(frontier[it.src]))
@@ -344,15 +410,17 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		frontier[it.src]++
 		if frontier[it.src] < b.Len() {
 			h[0] = mergeItem{key: b.Key(frontier[it.src]), src: it.src}
-			heap.Fix(&h, 0)
+			h.fixTop()
 		} else {
-			heap.Pop(&h)
+			h.popTop()
 		}
 		if fill == cfg.PacketRecords {
 			flush()
 		}
 	}
 	flush()
+	msc.pos, msc.h = frontier, h
+	putMergeScratch(msc)
 	return levels
 }
 
@@ -364,9 +432,16 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 	touch := cl.Touch(host)
 	gamma1 := len(queues)
 
-	// Stream heads: current packet and position per input queue.
-	heads := make([]container.Packet, gamma1)
-	pos := make([]int, gamma1)
+	// Stream heads: current packet and position per input queue, in pooled
+	// scratch (the packets themselves are owned by the stream, and the
+	// heads slice is cleared before the scratch is returned).
+	sc := mergePool.Get()
+	heads := scratch.Grow(sc.heads, gamma1)
+	pos := scratch.Grow(sc.pos, gamma1)
+	for i := range heads {
+		heads[i] = container.Packet{}
+		pos[i] = 0
+	}
 	advance := func(i int) bool {
 		pk, ok := queues[i].Get(p)
 		if !ok {
@@ -378,13 +453,13 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		pos[i] = 0
 		return true
 	}
-	var h mergeHeap
+	h := sc.h[:0]
 	for i := range queues {
 		if advance(i) {
 			h = append(h, mergeItem{key: heads[i].Buf.Key(0), src: i})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
 	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
 	fill, seq := 0, 0
@@ -406,7 +481,7 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
 		fill = 0
 	}
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		it := h[0]
 		src := it.src
 		copy(outBuf.Record(fill), heads[src].Buf.Record(pos[src]))
@@ -414,18 +489,20 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		pos[src]++
 		if pos[src] == heads[src].Len() {
 			if !advance(src) {
-				heap.Pop(&h)
+				h.popTop()
 			} else {
 				h[0] = mergeItem{key: heads[src].Buf.Key(0), src: src}
-				heap.Fix(&h, 0)
+				h.fixTop()
 			}
 		} else {
 			h[0] = mergeItem{key: heads[src].Buf.Key(pos[src]), src: src}
-			heap.Fix(&h, 0)
+			h.fixTop()
 		}
 		if fill == cfg.PacketRecords {
 			flush()
 		}
 	}
 	flush()
+	sc.heads, sc.pos, sc.h = heads, pos, h
+	putMergeScratch(sc)
 }

@@ -32,6 +32,10 @@ type AdaptOptions struct {
 	SkewMean    float64
 	Base        cluster.Params
 	Seed        int64
+	// Jobs bounds how many strategy cells execute concurrently (each is
+	// an independent simulation); < 1 means one worker per CPU. Results
+	// are identical for every value.
+	Jobs int
 }
 
 // DefaultAdaptOptions mirrors the Figure 10 setup.
@@ -89,12 +93,18 @@ func (r *AdaptResult) Table() *metrics.Table {
 // RunAdapt measures static, adaptive-switch, and SR-from-the-start.
 func RunAdapt(opt AdaptOptions) (*AdaptResult, error) {
 	res := &AdaptResult{Options: opt}
-	for _, strategy := range []string{"static", "adaptive", "sr"} {
-		cell, err := runAdaptCell(opt, strategy)
+	strategies := []string{"static", "adaptive", "sr"}
+	res.Cells = make([]AdaptCell, len(strategies))
+	err := runCells(len(strategies), opt.Jobs, func(i int) error {
+		cell, err := runAdaptCell(opt, strategies[i])
 		if err != nil {
-			return nil, fmt.Errorf("adapt %s: %w", strategy, err)
+			return fmt.Errorf("adapt %s: %w", strategies[i], err)
 		}
-		res.Cells = append(res.Cells, cell)
+		res.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -32,6 +32,10 @@ type Fig10Options struct {
 	SkewMean float64
 	Base     cluster.Params
 	Seed     int64
+	// Jobs bounds how many runs execute concurrently (each is an
+	// independent simulation); < 1 means one worker per CPU. Results are
+	// identical for every value.
+	Jobs int
 }
 
 // DefaultFig10Options mirrors the paper's setup: two hosts, 16 ASUs. The
@@ -154,12 +158,22 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		}
 		return run, nil
 	}
-	var err error
-	if res.Static, err = runOne(route.Static{Buckets: opt.Alpha}, "static"); err != nil {
+	// The two runs are independent simulations; sweep them on the worker
+	// pool. Policies are built per cell inside the pool so no routing
+	// state is shared across goroutines.
+	runs := make([]Fig10Run, 2)
+	err := runCells(len(runs), opt.Jobs, func(i int) error {
+		var e error
+		if i == 0 {
+			runs[0], e = runOne(route.Static{Buckets: opt.Alpha}, "static")
+		} else {
+			runs[1], e = runOne(route.NewSR(opt.Seed), "sr")
+		}
+		return e
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.Managed, err = runOne(route.NewSR(opt.Seed), "sr"); err != nil {
-		return nil, err
-	}
+	res.Static, res.Managed = runs[0], runs[1]
 	return res, nil
 }

@@ -36,6 +36,10 @@ type IsolationOptions struct {
 	Quanta []sim.Duration
 	Base   cluster.Params
 	Seed   int64
+	// Jobs bounds how many sweep cells execute concurrently (each is an
+	// independent simulation); < 1 means one worker per CPU. Results are
+	// identical for every value.
+	Jobs int
 }
 
 // DefaultIsolationOptions uses large packets so unisolated functor holds
@@ -109,12 +113,17 @@ func RunIsolation(opt IsolationOptions) (*IsolationResult, error) {
 			return nil, err
 		}
 	}
-	for _, quantum := range opt.Quanta {
-		cell, err := runIsolationCell(opt, quantum)
+	res.Cells = make([]IsolationCell, len(opt.Quanta))
+	err := runCells(len(opt.Quanta), opt.Jobs, func(i int) error {
+		cell, err := runIsolationCell(opt, opt.Quanta[i])
 		if err != nil {
-			return nil, fmt.Errorf("isolation quantum=%v: %w", quantum, err)
+			return fmt.Errorf("isolation quantum=%v: %w", opt.Quanta[i], err)
 		}
-		res.Cells = append(res.Cells, cell)
+		res.Cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

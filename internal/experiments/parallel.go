@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment sweeps are embarrassingly parallel: every cell builds its own
+// cluster, simulator, and telemetry registry, and shares no mutable state
+// with its siblings (process-wide scratch pools are concurrency-safe).
+// Running cells on a bounded worker pool therefore changes wall-clock time
+// only; virtual-time results — and the bytes of every emitted report — are
+// identical to a serial sweep, because each cell is a pure function of its
+// spec and results are collected in cell order.
+
+// Jobs resolves a parallelism knob: values < 1 mean one worker per
+// available CPU, anything else is used as given.
+func Jobs(j int) int {
+	if j < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// runCells executes fn(i) for every i in [0, n) on up to jobs concurrent
+// workers. fn must write its result into a caller-owned slot indexed by i.
+// All cells run to completion even when some fail; the error returned is
+// the first in cell order (not completion order), so failures are as
+// deterministic as results.
+func runCells(n, jobs int, fn func(i int) error) error {
+	jobs = Jobs(jobs)
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -114,20 +114,30 @@ func BenchMatrix(quick bool, seed int64) []SortRunSpec {
 	return []SortRunSpec{active, activeHalves, activeSR, conv, hybrid}
 }
 
-// RunBench executes the bench matrix and assembles a trajectory point. The
-// caller stamps GeneratedAt (wall-clock time stays out of this package so
-// runs are reproducible byte for byte).
-func RunBench(quick bool, seed int64, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
+// RunBench executes the bench matrix on up to jobs concurrent workers
+// (jobs < 1 = one per CPU) and assembles a trajectory point. Cells are
+// independent simulations, so the trajectory is byte-identical for every
+// jobs value: results land in matrix order and progress is announced in
+// matrix order (up front when running in parallel). The caller stamps
+// GeneratedAt (wall-clock time stays out of this package so runs are
+// reproducible byte for byte).
+func RunBench(quick bool, seed int64, jobs int, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
 	tr := &telemetry.Trajectory{Schema: telemetry.TrajectorySchema, Quick: quick}
-	for _, spec := range BenchMatrix(quick, seed) {
-		if progress != nil {
+	specs := BenchMatrix(quick, seed)
+	if progress != nil {
+		for _, spec := range specs {
 			progress(spec)
 		}
-		rep, _, err := RunSortReport(spec)
-		if err != nil {
-			return nil, err
-		}
-		tr.Runs = append(tr.Runs, rep)
 	}
+	reps := make([]*telemetry.RunReport, len(specs))
+	err := runCells(len(specs), jobs, func(i int) error {
+		rep, _, err := RunSortReport(specs[i])
+		reps[i] = rep
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Runs = reps
 	return tr, nil
 }

@@ -49,6 +49,32 @@ func TestRunReportByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunBenchParallelByteIdentical pins the sweep determinism contract:
+// the full bench trajectory must be byte-identical whether cells run
+// serially or on the worker pool, because each cell is an independent
+// simulation and results are collected in matrix order.
+func TestRunBenchParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick bench matrix twice")
+	}
+	run := func(jobs int) []byte {
+		tr, err := RunBench(true, 42, jobs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := telemetry.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial, parallel := run(1), run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("trajectory differs between -j 1 and -j 4:\n%.2000s\n---\n%.2000s",
+			serial, parallel)
+	}
+}
+
 // TestTelemetryDoesNotPerturbTiming: attaching a registry must leave the
 // simulated completion time of a run unchanged — telemetry observes, it
 // never participates.

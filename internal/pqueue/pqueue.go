@@ -19,6 +19,7 @@ import (
 
 	"lmas/internal/bte"
 	"lmas/internal/cluster"
+	"lmas/internal/scratch"
 	"lmas/internal/sim"
 )
 
@@ -59,12 +60,17 @@ type PQ struct {
 	havePrev bool
 }
 
-// run is a spilled sorted run with a read cursor.
+// run is a spilled sorted run with a read cursor. Drained runs return to
+// runPool so the decoded-items slice capacity is reused across spills
+// instead of reallocated per run.
 type run struct {
-	id    bte.BlockID
-	items []Item // decoded lazily on first read
-	pos   int
+	id     bte.BlockID
+	items  []Item // decoded lazily on first read; capacity reused via runPool
+	loaded bool
+	pos    int
 }
+
+var runPool scratch.Pool[run]
 
 // New creates a priority queue whose insertion buffer holds memItems items.
 // Spilled runs are stored on eng (typically a disk engine of the node that
@@ -103,7 +109,9 @@ func (q *PQ) spill(p *sim.Proc) {
 	// Sorting cost for the spill.
 	q.charge(p, float64(len(q.buf))*log2f(len(q.buf)))
 	id := q.eng.Append(p, data)
-	q.runs = append(q.runs, &run{id: id, pos: 0})
+	r := runPool.Get()
+	*r = run{id: id, items: r.items[:0]}
+	q.runs = append(q.runs, r)
 	q.spills++
 	if len(q.runs) > q.maxRuns {
 		q.maxRuns = len(q.runs)
@@ -112,11 +120,12 @@ func (q *PQ) spill(p *sim.Proc) {
 }
 
 func (r *run) load(p *sim.Proc, eng bte.Engine) {
-	if r.items != nil {
+	if r.loaded {
 		return
 	}
 	data := eng.Read(p, r.id)
-	r.items = make([]Item, len(data)/itemBytes)
+	r.items = scratch.Grow(r.items, len(data)/itemBytes)
+	r.loaded = true
 	for i := range r.items {
 		r.items[i].Key = binary.LittleEndian.Uint64(data[i*itemBytes:])
 		r.items[i].Payload = binary.LittleEndian.Uint64(data[i*itemBytes+8:])
@@ -189,7 +198,12 @@ func (q *PQ) PopMin(p *sim.Proc) (Item, bool) {
 		r.pos++
 		if r.pos == len(r.items) {
 			q.eng.Free(r.id)
-			q.runs = append(q.runs[:ri], q.runs[ri+1:]...)
+			copy(q.runs[ri:], q.runs[ri+1:])
+			// Clear the tail so the backing array doesn't pin the run,
+			// then recycle it: nothing else references a drained run.
+			q.runs[len(q.runs)-1] = nil
+			q.runs = q.runs[:len(q.runs)-1]
+			runPool.Put(r)
 		}
 	}
 	q.len--

@@ -1,0 +1,52 @@
+// Package prof wires -cpuprofile / -memprofile CLI flags to runtime/pprof,
+// shared by the command-line tools so wall-clock hot spots in the emulation
+// host can be inspected with `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (empty = disabled)
+// and returns a stop function to run once, just before exit: it ends the
+// CPU profile and writes the heap profile. File-creation problems fail
+// fast; problems while writing at stop time are reported on stderr, since
+// by then the tool's real work has already succeeded.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			runtime.GC() // collect before snapshotting live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -13,7 +13,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // DefaultSize is the record size used throughout the paper's evaluation.
@@ -82,14 +81,14 @@ func (b Buffer) SetKey(i int, k Key) {
 	binary.LittleEndian.PutUint32(b.data[i*b.size:], uint32(k))
 }
 
-// Swap exchanges records i and j in place.
+// Swap exchanges records i and j in place. The sort kernel does not use
+// it (it permutes whole records once, see sortkern.go); it remains for
+// callers that shuffle records directly.
 func (b Buffer) Swap(i, j int) {
 	ri, rj := b.Record(i), b.Record(j)
-	var tmp [512]byte
-	t := tmp[:b.size]
-	copy(t, ri)
-	copy(ri, rj)
-	copy(rj, t)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
 }
 
 // Less reports whether record i's key is smaller than record j's.
@@ -115,15 +114,6 @@ func (b Buffer) CopyFrom(dst int, src Buffer) {
 	}
 	copy(b.data[dst*b.size:], src.data)
 }
-
-// Sort sorts the buffer in place by key. The sort is not stable; records
-// with equal keys may appear in any order, which is harmless because
-// validation uses an order-independent checksum within equal-key runs.
-func (b Buffer) Sort() { sort.Sort(bufferSorter{b}) }
-
-type bufferSorter struct{ Buffer }
-
-func (s bufferSorter) Len() int { return s.Buffer.Len() }
 
 // IsSorted reports whether the buffer is nondecreasing by key.
 func (b Buffer) IsSorted() bool {

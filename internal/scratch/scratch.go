@@ -1,0 +1,47 @@
+// Package scratch provides process-wide free lists for the transient
+// scratch memory the emulation host burns through on every simulated run:
+// sort scratch in records, run-decode buffers in pqueue, and merge
+// frontiers in dsmsort. Pooling this memory is a pure wall-clock
+// optimisation — it never touches virtual time — and it stays safe under
+// the parallel experiment sweeps because sync.Pool is concurrency-safe and
+// every borrower returns only memory it owns exclusively.
+//
+// The cardinal rule: never Put memory that anything else may still
+// reference. Buffers that escape into containers, packets, or bte engines
+// are owned by those structures and must not be pooled.
+package scratch
+
+import "sync"
+
+// Pool is a typed free list of *T. Pooling pointers (rather than slice or
+// struct values) keeps Get/Put allocation-free in steady state: a slice
+// stored directly in a sync.Pool would be boxed into an interface on every
+// Put. The zero value is ready to use.
+type Pool[T any] struct{ p sync.Pool }
+
+// Get returns a pooled *T, or a new zero T if the pool is empty.
+func (p *Pool[T]) Get() *T {
+	if v, ok := p.p.Get().(*T); ok {
+		return v
+	}
+	return new(T)
+}
+
+// Put returns v to the pool; v must not be used afterwards. Callers are
+// responsible for not retaining references out of *v that would pin large
+// memory (truncate, don't nil, slices you intend to reuse).
+func (p *Pool[T]) Put(v *T) {
+	if v != nil {
+		p.p.Put(v)
+	}
+}
+
+// Grow returns sl resized to length n, reallocating only when the backing
+// array is too small. Contents are unspecified. It is the standard helper
+// for growing pooled scratch slices in place.
+func Grow[T any](sl []T, n int) []T {
+	if cap(sl) >= n {
+		return sl[:n]
+	}
+	return make([]T, n)
+}

@@ -40,7 +40,7 @@ func (c *Cond) Signal() {
 	// Shift rather than re-slice so the backing array doesn't pin procs.
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.sim.At(c.sim.now, func() { c.sim.runProc(p) })
+	c.sim.resumeAt(c.sim.now, p)
 }
 
 // Broadcast wakes all waiting procs in FIFO order.

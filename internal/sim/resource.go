@@ -133,7 +133,7 @@ func (r *Resource) Release(p *Proc) {
 	}
 	r.take(next, wasHigh)
 	s := r.sim
-	s.At(s.now, func() { s.runProc(next) })
+	s.resumeAt(s.now, next)
 }
 
 // Use acquires r, holds it for d of virtual time, then releases it. This is

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,38 +8,47 @@ import (
 	"lmas/internal/trace"
 )
 
-// event is a scheduled callback. Events with equal times fire in schedule
-// order (seq breaks ties), which keeps the simulation deterministic.
+// event is a scheduled callback or proc resumption. Events with equal
+// times fire in schedule order (seq breaks ties), which keeps the
+// simulation deterministic. An event resumes proc when proc is non-nil and
+// calls fn otherwise; tagging resumptions with the proc (instead of
+// closing over it) keeps the hot scheduling paths allocation-free and lets
+// a parking proc hand control straight to the next runnable proc.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before reports whether e fires ahead of f in (time, seq) order.
+func (e event) before(f event) bool {
+	if e.t != f.t {
+		return e.t < f.t
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < f.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 // Sim is a discrete-event simulator. The zero value is not usable; create
 // one with New. A Sim must be used from a single OS-level flow of control:
 // either the caller of Run, or the currently running Proc (there is never
 // more than one).
 type Sim struct {
-	now    Time
-	events eventHeap
-	seq    uint64
+	now Time
+	// events is a hand-rolled binary min-heap ordered by (t, seq). It is
+	// not container/heap because that interface boxes every popped event
+	// into an interface value — one allocation per event — and this is
+	// the hottest path in the emulator.
+	events []event
+	// nowq holds events scheduled for the current instant, a FIFO ring
+	// consumed before the heap advances time. Scheduling "at now" is the
+	// dominant case (proc wakeups from conds, resources, and spawns), and
+	// the ring makes it O(1) instead of an O(log n) heap round trip.
+	// Invariant: every queued entry has t == now (the queue drains before
+	// time advances), so FIFO order is exactly (t, seq) order.
+	nowq     []event
+	nowqHead int
+	seq      uint64
 
 	parked chan struct{}  // handoff: running proc -> scheduler
 	procs  map[*Proc]bool // all live procs
@@ -85,15 +93,23 @@ func New() *Sim {
 // Now reports the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is
-// clamped to the present.
-func (s *Sim) At(t Time, fn func()) {
+// schedule enqueues an event at absolute time t (clamped to the present).
+func (s *Sim) schedule(t Time, fn func(), p *Proc) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.events.pushEvent(event{t: t, seq: s.seq, fn: fn})
+	e := event{t: t, seq: s.seq, fn: fn, proc: p}
+	if t == s.now {
+		s.nowq = append(s.nowq, e)
+		return
+	}
+	s.heapPush(e)
 }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// clamped to the present.
+func (s *Sim) At(t Time, fn func()) { s.schedule(t, fn, nil) }
 
 // After schedules fn to run d from now.
 func (s *Sim) After(d Duration, fn func()) {
@@ -101,6 +117,116 @@ func (s *Sim) After(d Duration, fn func()) {
 		d = 0
 	}
 	s.At(s.now.Add(d), fn)
+}
+
+// resumeAt schedules p to resume at absolute time t.
+func (s *Sim) resumeAt(t Time, p *Proc) { s.schedule(t, nil, p) }
+
+// pending reports the number of queued events.
+func (s *Sim) pending() int { return len(s.events) + len(s.nowq) - s.nowqHead }
+
+// heapPush inserts e into the event heap.
+func (s *Sim) heapPush(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// heapPop removes and returns the earliest heap event.
+func (s *Sim) heapPop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the fn/proc references
+	h = h[:n]
+	s.events = h
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].before(h[least]) {
+			least = l
+		}
+		if r < n && h[r].before(h[least]) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
+}
+
+// peekNext reports the earliest queued event without removing it.
+func (s *Sim) peekNext() (event, bool) {
+	qok := s.nowqHead < len(s.nowq)
+	hok := len(s.events) > 0
+	switch {
+	case qok && hok:
+		if s.events[0].before(s.nowq[s.nowqHead]) {
+			return s.events[0], true
+		}
+		return s.nowq[s.nowqHead], true
+	case qok:
+		return s.nowq[s.nowqHead], true
+	case hok:
+		return s.events[0], true
+	}
+	return event{}, false
+}
+
+// popNext removes and returns the earliest queued event.
+func (s *Sim) popNext() (event, bool) {
+	qok := s.nowqHead < len(s.nowq)
+	hok := len(s.events) > 0
+	if qok && (!hok || !s.events[0].before(s.nowq[s.nowqHead])) {
+		e := s.nowq[s.nowqHead]
+		s.nowq[s.nowqHead] = event{}
+		s.nowqHead++
+		if s.nowqHead == len(s.nowq) {
+			s.nowq = s.nowq[:0] // reuse the ring's storage
+			s.nowqHead = 0
+		}
+		return e, true
+	}
+	if hok {
+		return s.heapPop(), true
+	}
+	return event{}, false
+}
+
+// dispatch executes one event in scheduler context.
+func (s *Sim) dispatch(ev event) {
+	if ev.proc != nil {
+		s.runProc(ev.proc)
+	} else {
+		ev.fn()
+	}
+}
+
+// clearEvents drops every queued event.
+func (s *Sim) clearEvents() {
+	for i := range s.events {
+		s.events[i] = event{}
+	}
+	s.events = s.events[:0]
+	for i := s.nowqHead; i < len(s.nowq); i++ {
+		s.nowq[i] = event{}
+	}
+	s.nowq = s.nowq[:0]
+	s.nowqHead = 0
 }
 
 // Proc is an emulated thread of control: a goroutine that runs only when the
@@ -164,12 +290,15 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	s.At(s.now, func() { s.runProc(p) })
+	s.resumeAt(s.now, p)
 	return p
 }
 
 // runProc transfers control to p until it parks or exits. Must be called
-// from scheduler context (inside an event callback).
+// from scheduler context (inside an event callback). While p runs it may
+// hand control directly to further procs (see park's fast path); the
+// scheduler stays blocked here until whichever proc ends the chain parks
+// with nothing left to chain to.
 func (s *Sim) runProc(p *Proc) {
 	if !s.procs[p] {
 		return // proc already exited (e.g. killed)
@@ -188,6 +317,14 @@ func (s *Sim) runProc(p *Proc) {
 
 // park suspends the calling proc until the scheduler resumes it. The caller
 // must have arranged for a wakeup (a scheduled event or a cond signal).
+//
+// Fast path: when the next event is another proc's resumption at the
+// current instant, the parking proc hands control straight to that proc
+// instead of bouncing through the scheduler goroutine, cutting the
+// park/resume round trip from two channel handoffs to one. The scheduler
+// (blocked in runProc) regains control only when a proc parks with no
+// immediately-runnable successor. Event order is unchanged: the handoff
+// consumes exactly the event the scheduler would have dispatched next.
 func (p *Proc) park(why string) {
 	// The traced flag is local so a sink attached mid-park cannot see an
 	// End without its Begin.
@@ -197,7 +334,34 @@ func (p *Proc) park(why string) {
 		t.Begin(p.track, int64(p.sim.now), why, "park")
 	}
 	p.blocked = why
-	p.sim.parked <- struct{}{}
+	s := p.sim
+	handed := false
+	for {
+		ev, ok := s.peekNext()
+		if !ok || ev.proc == nil || ev.t != s.now {
+			break
+		}
+		s.popNext()
+		q := ev.proc
+		if !s.procs[q] {
+			continue // stale wakeup for an exited proc
+		}
+		q.blocked = ""
+		if q == p {
+			// Our own wakeup is next: skip the channel round trip
+			// entirely (Yield with no competing events).
+			if traced {
+				t.End(p.track, int64(p.sim.now))
+			}
+			return
+		}
+		q.resume <- struct{}{}
+		handed = true
+		break
+	}
+	if !handed {
+		s.parked <- struct{}{}
+	}
 	<-p.resume
 	if traced {
 		t.End(p.track, int64(p.sim.now))
@@ -235,7 +399,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	s := p.sim
-	s.At(s.now.Add(d), func() { s.runProc(p) })
+	s.resumeAt(s.now.Add(d), p)
 	p.park("sleep")
 }
 
@@ -260,10 +424,13 @@ func (e *DeadlockError) Error() string {
 // them and returns a DeadlockError naming them. On success all spawned procs
 // have finished.
 func (s *Sim) Run() error {
-	for len(s.events) > 0 {
-		ev := s.events.popEvent()
+	for {
+		ev, ok := s.popNext()
+		if !ok {
+			break
+		}
 		s.now = ev.t
-		ev.fn()
+		s.dispatch(ev)
 	}
 	if len(s.procs) > 0 {
 		var names []string
@@ -282,10 +449,14 @@ func (s *Sim) Run() error {
 // left parked; call Run to continue or Shutdown to terminate them.
 func (s *Sim) RunFor(d Duration) {
 	deadline := s.now.Add(d)
-	for len(s.events) > 0 && s.events.peek().t <= deadline {
-		ev := s.events.popEvent()
+	for {
+		ev, ok := s.peekNext()
+		if !ok || ev.t > deadline {
+			break
+		}
+		s.popNext()
 		s.now = ev.t
-		ev.fn()
+		s.dispatch(ev)
 	}
 	if s.now < deadline {
 		s.now = deadline
@@ -309,7 +480,7 @@ func (s *Sim) killProcs() {
 		}
 	}
 	// Drop any queued events so a subsequent Run returns immediately.
-	s.events = s.events[:0]
+	s.clearEvents()
 	// Killed procs may still be queued on resource or cond wait lists;
 	// purge those dangling pointers so the sim's resources stay usable
 	// (and inspectable) after a shutdown.
