@@ -1,7 +1,7 @@
 # Convenience targets for the lmas emulation library. Everything here is a
 # thin wrapper over the go tool; no target is required by CI or the build.
 
-.PHONY: all build test race bench bench-smoke baseline
+.PHONY: all build test race bench bench-smoke bench-allocs baseline
 
 all: build
 
@@ -21,6 +21,19 @@ bench:
 # One iteration of every benchmark: catches broken benchmark code fast.
 bench-smoke:
 	go test -bench=. -benchtime=1x ./...
+
+# Allocation regression gate for the buffer pool: fail if the run-formation
+# benchmark's steady-state allocs/op exceed the budget (measured ~3.9k after
+# pooling; 4600 leaves headroom without allowing a copying regression).
+ALLOC_BUDGET := 4600
+bench-allocs:
+	@out=$$(go test ./internal/dsmsort -run 'TestXXX' -bench BenchmarkRunFormationOnly -benchmem -benchtime 10x | tee /dev/stderr); \
+	allocs=$$(echo "$$out" | awk '/BenchmarkRunFormationOnly/ {print $$(NF-1)}'); \
+	if [ -z "$$allocs" ]; then echo "bench-allocs: could not parse allocs/op"; exit 1; fi; \
+	if [ "$$allocs" -gt $(ALLOC_BUDGET) ]; then \
+		echo "bench-allocs: $$allocs allocs/op exceeds budget $(ALLOC_BUDGET)"; exit 1; \
+	fi; \
+	echo "bench-allocs: $$allocs allocs/op within budget $(ALLOC_BUDGET)"
 
 # Regenerate the CI perf-gate baseline after an INTENTIONAL performance
 # change (simulated runtimes moved for a good reason). -stamp=false keeps

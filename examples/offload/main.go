@@ -34,7 +34,7 @@ func main() {
 			sets = append(sets, container.NewSet("data@"+asu.Name, bte.NewDisk(asu.Disk), params.RecordSize))
 		}
 		for off := 0; off < n; off += 64 {
-			sets[(off/64)%len(sets)].Add(p, container.NewPacket(buf.Slice(off, off+64).Clone()))
+			sets[(off/64)%len(sets)].Add(p, container.NewPacket(buf.Slice(off, off+64).ClonePooled()))
 		}
 	})
 	if err := cl.Sim.Run(); err != nil {
@@ -54,6 +54,7 @@ func main() {
 				s := functor.DecodeAgg(pk.Buf.Record(i))
 				merged[s.Bucket] = functor.MergeAgg(merged[s.Bucket], s)
 			}
+			pk.Release() // decoded, not stored
 		}}
 	})
 	agg.ConnectTo(sink, &route.RoundRobin{})

@@ -13,6 +13,7 @@ package bte
 import (
 	"fmt"
 
+	"lmas/internal/bufpool"
 	"lmas/internal/disk"
 	"lmas/internal/sim"
 )
@@ -21,21 +22,34 @@ import (
 type BlockID int32
 
 // Engine is a block store with timing semantics.
+//
+// Buffer ownership contract: Append transfers EXCLUSIVE ownership of data's
+// backing storage to the engine — the caller must not read, mutate, release
+// or alias it afterwards. The engine returns that storage to the process
+// buffer pool on Free, so an aliased Append corrupts whoever borrows the
+// bytes next. Ownership comes back out only through Detach.
 type Engine interface {
-	// Append stores data as a new block and returns its id. The engine
-	// keeps a reference to data; callers must not mutate it afterwards.
+	// Append stores data as a new block and returns its id, taking
+	// exclusive ownership of data's storage (see the contract above).
 	Append(p *sim.Proc, data []byte) BlockID
 	// Read returns the block's contents. Callers must treat the result
-	// as read-only.
+	// as read-only; the engine still owns the storage.
 	Read(p *sim.Proc, id BlockID) []byte
 	// Peek returns the block's contents without charging any virtual
 	// time or perturbing device state. It exists for instrumentation
 	// and validation outside the emulated timeline; emulated
 	// computation must use Read.
 	Peek(id BlockID) []byte
-	// Free releases the block's storage. Freeing an already-free or
-	// unknown block panics: it indicates a container bookkeeping bug.
+	// Free releases the block and returns its storage to the buffer
+	// pool (the engine owned it exclusively, per Append's contract).
+	// Freeing an already-free or unknown block panics: it indicates a
+	// container bookkeeping bug.
 	Free(id BlockID)
+	// Detach removes the block from the engine and hands its storage to
+	// the caller, who becomes the exclusive owner (destructive scans use
+	// this to turn a stored packet into a caller-owned one without
+	// copying). Charges no virtual time; Read first for timed access.
+	Detach(id BlockID) []byte
 	// EndReadRun hints that a sequential read run has ended, so the
 	// next Read should not assume read-ahead overlap.
 	EndReadRun()
@@ -73,11 +87,6 @@ func (st *store) append(data []byte) BlockID {
 	return id
 }
 
-func (st *store) read(id BlockID) []byte {
-	b := st.get(id)
-	return b
-}
-
 func (st *store) get(id BlockID) []byte {
 	if int(id) >= len(st.blocks) || st.blocks[id] == nil {
 		panic(fmt.Sprintf("bte: access to dead block %d", id))
@@ -86,11 +95,18 @@ func (st *store) get(id BlockID) []byte {
 }
 
 func (st *store) freeBlock(id BlockID) {
+	bufpool.Put(st.detach(id))
+}
+
+// detach removes the block's bookkeeping and returns its bytes without
+// recycling them: ownership moves to the caller.
+func (st *store) detach(id BlockID) []byte {
 	b := st.get(id)
 	st.bytes -= int64(len(b))
 	st.live--
 	st.blocks[id] = nil
 	st.free = append(st.free, id)
+	return b
 }
 
 // Memory is an Engine with no transfer costs: an in-memory block store.
@@ -104,9 +120,10 @@ type Memory struct {
 func NewMemory() *Memory { return &Memory{} }
 
 func (m *Memory) Append(p *sim.Proc, data []byte) BlockID { return m.store.append(data) }
-func (m *Memory) Read(p *sim.Proc, id BlockID) []byte     { return m.store.read(id) }
-func (m *Memory) Peek(id BlockID) []byte                  { return m.store.read(id) }
+func (m *Memory) Read(p *sim.Proc, id BlockID) []byte     { return m.store.get(id) }
+func (m *Memory) Peek(id BlockID) []byte                  { return m.store.get(id) }
 func (m *Memory) Free(id BlockID)                         { m.store.freeBlock(id) }
+func (m *Memory) Detach(id BlockID) []byte                { return m.store.detach(id) }
 func (m *Memory) EndReadRun()                             {}
 func (m *Memory) Flush(p *sim.Proc)                       {}
 func (m *Memory) Bytes() int64                            { return m.store.bytes }
@@ -132,18 +149,19 @@ func (e *DiskEngine) Append(p *sim.Proc, data []byte) BlockID {
 }
 
 func (e *DiskEngine) Read(p *sim.Proc, id BlockID) []byte {
-	b := e.store.read(id)
+	b := e.store.get(id)
 	e.d.Read(p, len(b))
 	return b
 }
 
-func (e *DiskEngine) Peek(id BlockID) []byte { return e.store.read(id) }
+func (e *DiskEngine) Peek(id BlockID) []byte { return e.store.get(id) }
 
-func (e *DiskEngine) Free(id BlockID)   { e.store.freeBlock(id) }
-func (e *DiskEngine) EndReadRun()       { e.d.EndReadRun() }
-func (e *DiskEngine) Flush(p *sim.Proc) { e.d.Flush(p) }
-func (e *DiskEngine) Bytes() int64      { return e.store.bytes }
-func (e *DiskEngine) Blocks() int       { return e.store.live }
+func (e *DiskEngine) Free(id BlockID)          { e.store.freeBlock(id) }
+func (e *DiskEngine) Detach(id BlockID) []byte { return e.store.detach(id) }
+func (e *DiskEngine) EndReadRun()              { e.d.EndReadRun() }
+func (e *DiskEngine) Flush(p *sim.Proc)        { e.d.Flush(p) }
+func (e *DiskEngine) Bytes() int64             { return e.store.bytes }
+func (e *DiskEngine) Blocks() int              { return e.store.live }
 
 // Hooked decorates an engine with a transfer callback, letting callers add
 // costs the device itself cannot know about — typically the network hops a

@@ -30,10 +30,32 @@ type Packet struct {
 	Bucket int
 	// Run identifies the sorted run this packet is part of, or -1.
 	Run int
+	// Owned records that the packet holds exclusive ownership of Buf's
+	// storage. Release returns owned storage to the buffer pool; appending
+	// an owned packet to a collection transfers ownership to the engine.
+	Owned bool
 }
 
-// NewPacket wraps buf in an unannotated packet.
+// NewPacket wraps buf in an unannotated packet that does not own its storage.
 func NewPacket(buf records.Buffer) Packet { return Packet{Buf: buf, Bucket: -1, Run: -1} }
+
+// NewOwnedPacket wraps buf in a packet that owns buf's storage exclusively:
+// whoever consumes the packet must re-emit it, append it to a collection
+// (transferring ownership to the engine), or Release it back to the pool.
+func NewOwnedPacket(buf records.Buffer) Packet {
+	return Packet{Buf: buf, Bucket: -1, Run: -1, Owned: true}
+}
+
+// Release returns the packet's buffer to the pool if the packet owns it, and
+// clears the packet either way. A no-op on unowned packets, so consumers can
+// release unconditionally: engine-owned packets (non-destructive scans) and
+// sub-packets aliasing a larger buffer pass through unharmed.
+func (pk *Packet) Release() {
+	if pk.Owned {
+		pk.Buf.Release()
+	}
+	*pk = Packet{}
+}
 
 // Len reports the number of records in the packet.
 func (pk Packet) Len() int { return pk.Buf.Len() }
@@ -66,6 +88,10 @@ type Collection struct {
 	pks     []meta
 	live    int // packets not yet freed
 	records int64
+	// scanOrder is scratch for Scan order slices. Starting a scan already
+	// invalidates earlier scans on the same collection (resetMarks), so
+	// reusing one slice is safe.
+	scanOrder []int
 }
 
 func newCollection(name string, eng bte.Engine, recSize int) Collection {
@@ -87,11 +113,26 @@ func (c *Collection) Records() int64 { return c.records }
 // RecordSize reports the record size for this collection.
 func (c *Collection) RecordSize() int { return c.recSize }
 
+// append stores pk as a new block. Per the engine's Append contract, this
+// transfers ownership of pk.Buf's storage to the engine: the caller must not
+// use, re-append or Release the buffer afterwards.
 func (c *Collection) append(p *sim.Proc, pk Packet) {
 	if pk.Buf.Size() != c.recSize {
 		panic(fmt.Sprintf("container %s: record size %d, want %d", c.name, pk.Buf.Size(), c.recSize))
 	}
 	id := c.eng.Append(p, bufBytes(pk.Buf))
+	if len(c.pks) == cap(c.pks) {
+		// Grow with a floor: collections hold at least a handful of
+		// packets, and the default doubling from tiny caps costs several
+		// reallocations per stream in run-heavy phases.
+		ncap := 2 * cap(c.pks)
+		if ncap < 16 {
+			ncap = 16
+		}
+		np := make([]meta, len(c.pks), ncap)
+		copy(np, c.pks)
+		c.pks = np
+	}
 	c.pks = append(c.pks, meta{id: id, n: pk.Len(), sorted: pk.Sorted, bucket: pk.Bucket, run: pk.Run})
 	c.live++
 	c.records += int64(pk.Len())
@@ -126,6 +167,29 @@ func (c *Collection) freePacket(i int) {
 	c.records -= int64(m.n)
 }
 
+// detachPacket drops packet i's bookkeeping and hands its storage to the
+// caller without recycling it (destructive scans transfer ownership to the
+// packet they just delivered).
+func (c *Collection) detachPacket(i int) {
+	m := &c.pks[i]
+	if m.freed {
+		return
+	}
+	c.eng.Detach(m.id)
+	m.freed = true
+	c.live--
+	c.records -= int64(m.n)
+}
+
+// FreeAll releases every live packet's storage back to the buffer pool.
+// It charges no virtual time; harnesses call it after validation to retire
+// a collection so leak checks can account for every buffer.
+func (c *Collection) FreeAll() {
+	for i := range c.pks {
+		c.freePacket(i)
+	}
+}
+
 // ForEach visits every live packet without charging virtual time or
 // touching device state; it exists for validation and instrumentation
 // outside the emulated timeline. fn returning false stops the walk.
@@ -154,6 +218,14 @@ func (c *Collection) resetMarks() {
 	}
 }
 
+// orderScratch returns the collection's reusable scan-order slice, sized n.
+func (c *Collection) orderScratch(n int) []int {
+	if cap(c.scanOrder) < n {
+		c.scanOrder = make([]int, n)
+	}
+	return c.scanOrder[:n]
+}
+
 // bufBytes exposes a buffer's backing bytes for engine storage.
 func bufBytes(b records.Buffer) []byte { return b.Raw() }
 
@@ -171,10 +243,14 @@ func NewStream(name string, eng bte.Engine, recSize int) *Stream {
 func (s *Stream) Append(p *sim.Proc, pk Packet) { s.append(p, pk) }
 
 // Scan starts an ordered scan over all packets. Each scan marks all records
-// pending again.
+// pending again and invalidates earlier scans on the same collection.
 func (s *Stream) Scan() *Scan {
 	s.resetMarks()
-	return &Scan{c: &s.Collection, order: identityOrder(len(s.pks))}
+	order := s.orderScratch(len(s.pks))
+	for i := range order {
+		order[i] = i
+	}
+	return &Scan{c: &s.Collection, order: order, pending: s.live}
 }
 
 // Set is an unordered collection: "data containers that do not define the
@@ -199,14 +275,14 @@ func (s *Set) Add(p *sim.Proc, pk Packet) { s.append(p, pk) }
 func (s *Set) Scan(rotate int, destructive bool) *Scan {
 	s.resetMarks()
 	n := len(s.pks)
-	order := make([]int, 0, n)
+	order := s.orderScratch(n)
 	if n > 0 {
 		start := ((rotate % n) + n) % n
 		for i := 0; i < n; i++ {
-			order = append(order, (start+i)%n)
+			order[i] = (start + i) % n
 		}
 	}
-	return &Scan{c: &s.Collection, order: order, destructive: destructive}
+	return &Scan{c: &s.Collection, order: order, destructive: destructive, pending: s.live}
 }
 
 // Array supports random access to packets by index, the container type
@@ -245,31 +321,32 @@ type Scan struct {
 	order       []int
 	pos         int
 	destructive bool
-}
-
-func identityOrder(n int) []int {
-	o := make([]int, n)
-	for i := range o {
-		o[i] = i
-	}
-	return o
+	pending     int // live packets this scan has not yet delivered
 }
 
 // Next delivers the next pending packet, blocking p for I/O time. ok is
-// false when the scan has consumed the entire collection.
+// false when the scan has consumed the entire collection. Packets delivered
+// by a destructive scan own their storage: the consumer must re-emit,
+// append, or Release them.
 func (sc *Scan) Next(p *sim.Proc) (Packet, bool) {
 	for sc.pos < len(sc.order) {
 		i := sc.order[sc.pos]
 		sc.pos++
 		m := &sc.c.pks[i]
 		if m.consumed || m.freed {
+			if m.freed && !m.consumed {
+				sc.pending-- // freed externally since the scan started
+			}
 			continue
 		}
 		pk := sc.c.load(p, i)
 		m.consumed = true
+		sc.pending--
 		if sc.destructive {
-			// The scan has the only reference now; release storage.
-			sc.c.freePacket(i)
+			// The scan has the only reference now; ownership of the
+			// block's storage moves to the delivered packet.
+			sc.c.detachPacket(i)
+			pk.Owned = true
 		}
 		return pk, true
 	}
@@ -278,13 +355,4 @@ func (sc *Scan) Next(p *sim.Proc) (Packet, bool) {
 }
 
 // Remaining reports how many pending packets the scan has not yet delivered.
-func (sc *Scan) Remaining() int {
-	n := 0
-	for _, i := range sc.order[sc.pos:] {
-		m := &sc.c.pks[i]
-		if !m.consumed && !m.freed {
-			n++
-		}
-	}
-	return n
-}
+func (sc *Scan) Remaining() int { return sc.pending }

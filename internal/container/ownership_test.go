@@ -1,0 +1,141 @@
+package container
+
+import (
+	"testing"
+
+	"lmas/internal/bte"
+	"lmas/internal/bufpool"
+	"lmas/internal/records"
+	"lmas/internal/sim"
+)
+
+// mkPooledPacket builds a packet whose buffer ownership transfers into
+// whatever collection it is added to.
+func mkPooledPacket(keys ...records.Key) Packet {
+	b := records.NewPooled(len(keys), recSize)
+	for i, k := range keys {
+		b.SetKey(i, k)
+	}
+	return NewOwnedPacket(b)
+}
+
+// TestDestructiveScanTransfersOwnership: packets delivered by a destructive
+// scan own their storage; releasing them returns it to the pool, and the
+// debug leak check balances over the whole add/scan/release cycle.
+func TestDestructiveScanTransfersOwnership(t *testing.T) {
+	prev := bufpool.SetDebug(true)
+	defer bufpool.SetDebug(prev)
+	run(t, func(p *sim.Proc) {
+		s := NewSet("s", bte.NewMemory(), recSize)
+		for i := 0; i < 4; i++ {
+			s.Add(p, mkPooledPacket(records.Key(i), records.Key(i+10)))
+		}
+		sc := s.Scan(0, true)
+		n := 0
+		for {
+			pk, ok := sc.Next(p)
+			if !ok {
+				break
+			}
+			if !pk.Owned {
+				t.Fatal("destructive scan must deliver owned packets")
+			}
+			pk.Release()
+			n++
+		}
+		if n != 4 {
+			t.Fatalf("delivered %d packets, want 4", n)
+		}
+		if s.Packets() != 0 || s.Records() != 0 {
+			t.Fatalf("set not emptied: %d packets, %d records", s.Packets(), s.Records())
+		}
+		if err := bufpool.LeakCheck(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestNonDestructiveScanUnowned: regular scans deliver engine-owned packets;
+// releasing them must be a harmless no-op, and FreeAll returns the storage.
+func TestNonDestructiveScanUnowned(t *testing.T) {
+	prev := bufpool.SetDebug(true)
+	defer bufpool.SetDebug(prev)
+	run(t, func(p *sim.Proc) {
+		s := NewSet("s", bte.NewMemory(), recSize)
+		for i := 0; i < 3; i++ {
+			s.Add(p, mkPooledPacket(records.Key(i)))
+		}
+		sc := s.Scan(1, false)
+		for {
+			pk, ok := sc.Next(p)
+			if !ok {
+				break
+			}
+			if pk.Owned {
+				t.Fatal("non-destructive scan must not hand out ownership")
+			}
+			pk.Release() // no-op: the engine still owns the block
+		}
+		if s.Packets() != 3 {
+			t.Fatalf("packets = %d, want 3 after non-destructive scan", s.Packets())
+		}
+		s.FreeAll()
+		if s.Packets() != 0 {
+			t.Fatalf("packets = %d after FreeAll", s.Packets())
+		}
+		if err := bufpool.LeakCheck(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestScanRemainingRunningCount: Remaining must track deliveries exactly,
+// including packets freed externally mid-scan.
+func TestScanRemainingRunningCount(t *testing.T) {
+	run(t, func(p *sim.Proc) {
+		st := NewStream("s", bte.NewMemory(), recSize)
+		for i := 0; i < 5; i++ {
+			st.Append(p, mkPacket(records.Key(i)))
+		}
+		sc := st.Scan()
+		if sc.Remaining() != 5 {
+			t.Fatalf("initial Remaining = %d, want 5", sc.Remaining())
+		}
+		for want := 4; want >= 0; want-- {
+			if _, ok := sc.Next(p); !ok {
+				t.Fatal("scan ended early")
+			}
+			if sc.Remaining() != want {
+				t.Fatalf("Remaining = %d, want %d", sc.Remaining(), want)
+			}
+		}
+		if _, ok := sc.Next(p); ok || sc.Remaining() != 0 {
+			t.Fatal("scan should be exhausted")
+		}
+	})
+}
+
+// TestScanOrderScratchReuse: starting a second scan must not corrupt
+// delivery (the order slice is reused across scans on one collection).
+func TestScanOrderScratchReuse(t *testing.T) {
+	run(t, func(p *sim.Proc) {
+		s := NewSet("s", bte.NewMemory(), recSize)
+		for i := 0; i < 6; i++ {
+			s.Add(p, mkPacket(records.Key(i)))
+		}
+		for rot := 0; rot < 3; rot++ {
+			sc := s.Scan(rot, false)
+			seen := map[records.Key]bool{}
+			for {
+				pk, ok := sc.Next(p)
+				if !ok {
+					break
+				}
+				seen[pk.Buf.Key(0)] = true
+			}
+			if len(seen) != 6 {
+				t.Fatalf("rotation %d delivered %d distinct packets, want 6", rot, len(seen))
+			}
+		}
+	})
+}

@@ -13,9 +13,14 @@ func benchSort(b *testing.B, placement Placement, asus int) {
 		in := MakeInput(cl, 1<<14, records.Uniform{}, 42, 64)
 		cfg := Config{Alpha: 16, Beta: 64, Gamma2: 16, PacketRecords: 64,
 			Placement: placement, Seed: 42}
-		if _, err := Sort(cl, cfg, in); err != nil {
+		res, err := Sort(cl, cfg, in)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// End-of-run recycling (the pool contract): the next iteration
+		// draws these buffers instead of allocating.
+		res.Output.Free()
+		in.Free()
 	}
 }
 
@@ -29,9 +34,14 @@ func BenchmarkRunFormationOnly(b *testing.B) {
 		in := MakeInput(cl, 1<<15, records.Uniform{}, 42, 64)
 		cfg := Config{Alpha: 16, Beta: 64, Gamma2: 2, PacketRecords: 64,
 			Placement: Active, Seed: 42}
-		if _, _, err := RunFormation(cl, cfg, in); err != nil {
+		rs, _, err := RunFormation(cl, cfg, in)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// End-of-run recycling (the pool contract): the next iteration
+		// draws these buffers instead of allocating.
+		rs.Free()
+		in.Free()
 	}
 }
 
@@ -47,8 +57,14 @@ func BenchmarkMergePassOnly(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, _, err := MergePass(cl, cfg, rs); err != nil {
+		out, _, err := MergePass(cl, cfg, rs)
+		b.StopTimer()
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Free()
+		rs.Free()
+		in.Free()
+		b.StartTimer()
 	}
 }

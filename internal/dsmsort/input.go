@@ -76,7 +76,9 @@ func loadInput(cl *cluster.Cluster, buf records.Buffer, packetRecords int) *Inpu
 			if hi > n {
 				hi = n
 			}
-			pk := container.NewPacket(buf.Slice(off, hi).Clone())
+			// ClonePooled: the copy's ownership transfers into the set's
+			// engine; the generator's master buffer never enters the pool.
+			pk := container.NewPacket(buf.Slice(off, hi).ClonePooled())
 			in.Sets[pi%d].Add(p, pk)
 		}
 		for _, set := range in.Sets {
@@ -87,4 +89,13 @@ func loadInput(cl *cluster.Cluster, buf records.Buffer, packetRecords int) *Inpu
 		panic(fmt.Sprintf("dsmsort: input load failed: %v", err))
 	}
 	return in
+}
+
+// Free releases all remaining input packet storage back to the buffer pool.
+// Call after the run (and any validation) completes; harmless on inputs
+// already drained by destructive scans.
+func (in *Input) Free() {
+	for _, set := range in.Sets {
+		set.FreeAll()
+	}
 }

@@ -46,6 +46,18 @@ func (rs *RunStore) put(p *sim.Proc, asu int, pk container.Packet) {
 	st.Append(p, pk)
 }
 
+// Free releases every stored run's storage back to the buffer pool; call it
+// when the run store has been merged or validated and is no longer needed.
+func (rs *RunStore) Free() {
+	for _, row := range rs.Streams {
+		for _, st := range row {
+			if st != nil {
+				st.FreeAll()
+			}
+		}
+	}
+}
+
 // Runs reports the total number of stored runs.
 func (rs *RunStore) Runs() int {
 	n := 0

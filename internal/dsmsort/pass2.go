@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"lmas/internal/bte"
+	"lmas/internal/bufpool"
 	"lmas/internal/cluster"
 	"lmas/internal/container"
 	"lmas/internal/records"
@@ -30,6 +31,14 @@ func NewOutputStore(cl *cluster.Cluster) *OutputStore {
 			container.NewStream("output@"+asu.Name, bte.NewDisk(asu.Disk), cl.Params.RecordSize))
 	}
 	return os
+}
+
+// Free releases the output's packet storage back to the buffer pool; call
+// it once the output has been validated and is no longer needed.
+func (o *OutputStore) Free() {
+	for _, st := range o.Streams {
+		st.FreeAll()
+	}
 }
 
 // Records reports the total records stored.
@@ -172,13 +181,15 @@ func putMergeScratch(sc *mergeScratch) {
 }
 
 // mergeBuffers merges k sorted buffers into one sorted buffer (pure
-// computation; callers charge the CPU cost separately).
+// computation; callers charge the CPU cost separately). The result is drawn
+// from the buffer pool and owned by the caller; every record position is
+// written before return.
 func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
 	total := 0
 	for _, b := range bufs {
 		total += b.Len()
 	}
-	out := records.NewBuffer(total, recSize)
+	out := records.NewPooled(total, recSize)
 	sc := mergePool.Get()
 	pos := scratch.Grow(sc.pos, len(bufs))
 	h := sc.h[:0]
@@ -330,8 +341,11 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 	cm := cl.Params.Costs
 	touch := cl.Touch(asu)
 
-	// Load this bucket's runs (sequential disk read).
+	// Load this bucket's runs (sequential disk read). Level-0 run buffers
+	// stay engine-owned (the scan is non-destructive); merged intermediate
+	// runs are pooled and owned here — owned tracks which is which.
 	var runs []records.Buffer
+	var owned []bool
 	sc := st.Scan()
 	for {
 		pk, ok := sc.Next(p)
@@ -339,6 +353,7 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 			break
 		}
 		runs = append(runs, pk.Buf)
+		owned = append(owned, false)
 	}
 	levels := 0
 	// Intermediate levels: merge batches of γ2 runs into longer runs,
@@ -348,6 +363,7 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 	for len(runs) > cfg.Gamma2 {
 		levels++
 		var next []records.Buffer
+		var nextOwned []bool
 		for lo := 0; lo < len(runs); lo += cfg.Gamma2 {
 			hi := lo + cfg.Gamma2
 			if hi > len(runs) {
@@ -362,13 +378,26 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 			res.ASUOps += ops
 			asu.Compute(p, ops)
 			merged := mergeBuffers(batch, recSize)
-			// Intermediate run round-trips through local storage.
-			id := eng.Append(p, merged.Raw())
+			// The batch's records now live in merged; recycle the pooled
+			// intermediate inputs (engine-owned level-0 runs stay put).
+			for i := lo; i < hi; i++ {
+				if owned[i] {
+					runs[i].Release()
+				}
+			}
+			// Intermediate run round-trips through local storage. The
+			// engine takes ownership of whatever it appends and the
+			// round-trip's content is never read back, so charge it on a
+			// pooled placeholder of identical length — virtual time only
+			// depends on the byte count — while merged stays live here.
+			tmp := bufpool.Get(merged.Bytes())
+			id := eng.Append(p, tmp)
 			eng.Read(p, id)
 			eng.Free(id)
 			next = append(next, merged)
+			nextOwned = append(nextOwned, true)
 		}
-		runs = next
+		runs, owned = next, nextOwned
 	}
 	levels++
 	// Final level: streaming γ2-way merge emitting packets to the host.
@@ -384,13 +413,15 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		}
 	}
 	h.init()
-	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
+	outBuf := records.NewPooled(cfg.PacketRecords, recSize)
 	fill := 0
 	flush := func() {
 		if fill == 0 {
 			return
 		}
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1}
+		// The packet owns its pooled buffer; the host merger releases it
+		// once the records are copied into the bucket's output.
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1, Owned: true}
 		ops := float64(fill) * (touch + log2f(len(runs))*cm.CompareOps)
 		res.ASUOps += ops
 		asu.Compute(p, ops)
@@ -399,7 +430,7 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		if err := q.Put(p, pk); err != nil {
 			panic(err)
 		}
-		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
+		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
 		fill = 0
 	}
 	for len(h) > 0 {
@@ -419,6 +450,12 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		}
 	}
 	flush()
+	outBuf.Release() // last (empty or partial) staging buffer
+	for i := range runs {
+		if owned[i] {
+			runs[i].Release()
+		}
+	}
 	msc.pos, msc.h = frontier, h
 	putMergeScratch(msc)
 	return levels
@@ -461,13 +498,15 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 	}
 	h.init()
 
-	outBuf := records.NewBuffer(cfg.PacketRecords, recSize)
+	outBuf := records.NewPooled(cfg.PacketRecords, recSize)
 	fill, seq := 0, 0
 	flush := func() {
 		if fill == 0 {
 			return
 		}
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq}
+		// The collector appends the packet to the output stream, which
+		// transfers the pooled buffer's ownership to the ASU's engine.
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq, Owned: true}
 		seq++
 		ops := float64(fill) * (touch + log2f(gamma1)*cm.CompareOps)
 		res.HostOps += ops
@@ -478,7 +517,7 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		if err := collectors[dest].Put(p, pk); err != nil {
 			panic(err)
 		}
-		outBuf = records.NewBuffer(cfg.PacketRecords, recSize)
+		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
 		fill = 0
 	}
 	for len(h) > 0 {
@@ -488,6 +527,7 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		fill++
 		pos[src]++
 		if pos[src] == heads[src].Len() {
+			heads[src].Release() // exhausted upstream packet (it owned its buffer)
 			if !advance(src) {
 				h.popTop()
 			} else {
@@ -503,6 +543,7 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		}
 	}
 	flush()
+	outBuf.Release() // last staging buffer never entered a packet
 	sc.heads, sc.pos, sc.h = heads, pos, h
 	putMergeScratch(sc)
 }

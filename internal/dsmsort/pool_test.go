@@ -1,0 +1,65 @@
+package dsmsort
+
+import (
+	"testing"
+
+	"lmas/internal/bufpool"
+	"lmas/internal/cluster"
+	"lmas/internal/records"
+)
+
+// TestSortLeakFree runs a full two-pass sort under the pool's debug mode and
+// verifies that after the harness retires its stores, every pooled buffer has
+// come home: no double releases, no poisoned-buffer writes, no leaks.
+func TestSortLeakFree(t *testing.T) {
+	prev := bufpool.SetDebug(true)
+	defer bufpool.SetDebug(prev)
+
+	cl := cluster.New(testParams(1, 8))
+	in := MakeInput(cl, 1<<14, records.Uniform{}, 42, 64)
+	cfg := Config{Alpha: 16, Beta: 64, Gamma2: 16, PacketRecords: 64,
+		Placement: Active, Seed: 42}
+	res, err := Sort(cl, cfg, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort already freed the intermediate run store; the harness owns the
+	// output and the (cloned) input buffers.
+	res.Output.Free()
+	in.Free()
+	if n := bufpool.Outstanding(); n != 0 {
+		t.Errorf("outstanding pooled buffers after full sort: %d", n)
+	}
+	if err := bufpool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunFormationAllocBudget pins the steady-state allocation count of the
+// run-formation benchmark loop. The first run warms the buffer pool; the
+// measured runs then reflect the recycled steady state. Guards against
+// regressions that reintroduce per-packet copying or per-scan allocation.
+func TestRunFormationAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const budget = 4600 // steady state measured at ~3.9k allocs/op
+	avg := testing.AllocsPerRun(3, func() {
+		cl := cluster.New(testParams(1, 8))
+		in := MakeInput(cl, 1<<15, records.Uniform{}, 42, 64)
+		cfg := Config{Alpha: 16, Beta: 64, Gamma2: 2, PacketRecords: 64,
+			Placement: Active, Seed: 42}
+		rs, _, err := RunFormation(cl, cfg, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.Free()
+		in.Free()
+	})
+	if avg > budget {
+		t.Errorf("run formation allocs/op = %.0f, budget %d", avg, budget)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package dsmsort
+
+const raceEnabled = true

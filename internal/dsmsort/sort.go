@@ -29,6 +29,8 @@ func Sort(cl *cluster.Cluster, cfg Config, in *Input) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The runs have been merged into out; recycle their block storage.
+	rs.Free()
 	if err := out.Validate(in, cfg.Alpha); err != nil {
 		return nil, fmt.Errorf("dsmsort: output validation failed: %w", err)
 	}

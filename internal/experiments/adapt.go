@@ -131,7 +131,7 @@ func runAdaptCell(opt AdaptOptions, strategy string) (AdaptCell, error) {
 			if hi > opt.N {
 				hi = opt.N
 			}
-			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).Clone()))
+			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).ClonePooled()))
 		}
 	})
 	if err := cl.Sim.Run(); err != nil {

@@ -127,7 +127,7 @@ func runFilterScan(opt FilterOptions, threshold records.Key, onASU bool) (secs, 
 			if hi > opt.N {
 				hi = opt.N
 			}
-			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).Clone()))
+			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).ClonePooled()))
 		}
 	})
 	if err := cl.Sim.Run(); err != nil {
@@ -144,6 +144,7 @@ func runFilterScan(opt FilterOptions, threshold records.Key, onASU bool) (secs, 
 	consume := pl.AddStage("consume", cl.Hosts, func() functor.Kernel {
 		return &functor.Sink{Label: "matches", Fn: func(ctx *functor.Ctx, pk container.Packet) {
 			got += int64(pk.Len())
+			pk.Release() // counted, not stored
 		}}
 	})
 	consume.Terminal()

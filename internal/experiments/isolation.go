@@ -146,7 +146,7 @@ func runIsolationCell(opt IsolationOptions, quantum sim.Duration) (IsolationCell
 			if hi > opt.N {
 				hi = opt.N
 			}
-			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).Clone()))
+			sets[pi%opt.ASUs].Add(p, container.NewPacket(buf.Slice(off, hi).ClonePooled()))
 		}
 	})
 	if err := cl.Sim.Run(); err != nil {

@@ -125,7 +125,8 @@ func Sort(cl *cluster.Cluster, cfg Config, in *dsmsort.Input) (*Result, error) {
 			if fill == 0 {
 				return
 			}
-			buf := mem.Slice(0, fill).Clone()
+			// Pooled copy: ownership transfers into the run stream's engine.
+			buf := mem.Slice(0, fill).ClonePooled()
 			ops := float64(fill) * (touch + log2f(fill)*cm.CompareOps)
 			res.HostOps += ops
 			host.Compute(p, ops)
@@ -274,7 +275,7 @@ func mergeRuns(cl *cluster.Cluster, p *sim.Proc, host *cluster.Node, group []*co
 	outIdx := *stripe % len(engines)
 	*stripe++
 	out := container.NewStream(fmt.Sprintf("xmerge%d", *stripe), engines[outIdx], recSize)
-	outBuf := records.NewBuffer(total, recSize)
+	outBuf := records.NewPooled(total, recSize) // fully written below, then engine-owned
 	w := 0
 	for h.Len() > 0 {
 		it := h[0]
@@ -298,6 +299,11 @@ func mergeRuns(cl *cluster.Cluster, p *sim.Proc, host *cluster.Node, group []*co
 	host.Compute(p, ops)
 	cl.Net.Stream(p, host.NIC, cl.ASUs[outIdx].NIC, outBuf.Bytes()+64)
 	out.Append(p, container.Packet{Buf: outBuf, Sorted: true, Bucket: -1, Run: *stripe})
+	// The merged group's blocks are fully copied into outBuf; recycle their
+	// storage for the next merge group (the cursor aliases are dead here).
+	for _, st := range group {
+		st.FreeAll()
+	}
 	return out
 }
 

@@ -72,6 +72,7 @@ func (a *Aggregate) Process(ctx *Ctx, pk container.Packet, emit Emit) {
 			a.maxs[b] = k
 		}
 	}
+	pk.Release() // only keys were read; the input is consumed
 }
 
 // Flush emits one summary record per non-empty bucket.

@@ -53,7 +53,11 @@ type Kernel interface {
 	Name() string
 	// Compares reports the declared key comparisons per record of pk.
 	Compares(pk container.Packet) float64
-	// Process consumes pk, emitting zero or more packets.
+	// Process consumes pk, emitting zero or more packets. Consuming means
+	// taking responsibility for pk's buffer: re-emit the packet, move its
+	// buffer into a container (ownership transfers to the engine), or call
+	// pk.Release() — a no-op for unowned packets, so kernels may release
+	// unconditionally once they are done reading.
 	Process(ctx *Ctx, pk container.Packet, emit Emit)
 	// Flush emits buffered state after the last input packet.
 	Flush(ctx *Ctx, emit Emit)
@@ -137,7 +141,7 @@ func (a *recordAdapter) stage(port int, rec []byte, emit Emit) {
 		panic(fmt.Sprintf("functor %s: emit on port %d of %d", a.f.Name(), port, len(a.staging)))
 	}
 	if a.staging[port].Len() == 0 {
-		a.staging[port] = records.NewBuffer(a.cap, a.recSize)
+		a.staging[port] = records.NewPooled(a.cap, a.recSize)
 	}
 	copy(a.staging[port].Record(a.fill[port]), rec)
 	a.fill[port]++
@@ -165,6 +169,7 @@ func (a *recordAdapter) Process(ctx *Ctx, pk container.Packet, emit Emit) {
 	for i := 0; i < n; i++ {
 		a.f.Process(pk.Buf.Record(i), out)
 	}
+	pk.Release() // records were copied into staging; the input is consumed
 }
 
 func (a *recordAdapter) Flush(ctx *Ctx, emit Emit) {
@@ -178,7 +183,9 @@ func (a *recordAdapter) flushPort(port int, emit Emit) {
 	if a.fill[port] == 0 {
 		return
 	}
-	pk := container.Packet{Buf: a.staging[port].Slice(0, a.fill[port]), Bucket: port, Run: -1}
+	// The emitted packet owns the pooled staging buffer (a length-prefix
+	// slice keeps the full pool capacity, so release recycles it whole).
+	pk := container.Packet{Buf: a.staging[port].Slice(0, a.fill[port]), Bucket: port, Run: -1, Owned: true}
 	a.staged -= a.fill[port]
 	a.staging[port] = records.Buffer{}
 	a.fill[port] = 0

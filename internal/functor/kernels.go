@@ -3,7 +3,6 @@ package functor
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"lmas/internal/container"
 	"lmas/internal/records"
@@ -40,8 +39,7 @@ func (d *Distribute) ComparesPerRecord() float64 {
 }
 
 func (d *Distribute) Process(rec []byte, emit func(port int, rec []byte)) {
-	k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
-	emit(records.BucketOf(k, d.Splitters), rec)
+	emit(records.BucketOf(records.KeyOf(rec), d.Splitters), rec)
 }
 
 func (d *Distribute) Flush(emit func(port int, rec []byte)) {}
@@ -59,8 +57,7 @@ func (f *Filter) Name() string               { return "filter" }
 func (f *Filter) Ports() int                 { return 1 }
 func (f *Filter) ComparesPerRecord() float64 { return 1 }
 func (f *Filter) Process(rec []byte, emit func(port int, rec []byte)) {
-	k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
-	if f.Keep(k) {
+	if f.Keep(records.KeyOf(rec)) {
 		emit(0, rec)
 	}
 }
@@ -77,8 +74,11 @@ type BlockSort struct {
 	Beta    int // records per sorted run
 	RecSize int
 
-	blocks map[int]*records.Buffer // bucket -> partial block
-	fill   map[int]int
+	// Per-bucket partial blocks, indexed bucket+1 so the unbucketed
+	// stream (Bucket == -1) lands at slot 0; grown on demand. Slot order
+	// is ascending bucket order, which keeps Flush deterministic.
+	blocks []records.Buffer
+	fill   []int
 	runSeq int
 }
 
@@ -95,49 +95,48 @@ func (b *BlockSort) Name() string { return fmt.Sprintf("blocksort(%d)", b.Beta) 
 func (b *BlockSort) Compares(pk container.Packet) float64 { return log2(b.Beta) }
 
 func (b *BlockSort) Process(ctx *Ctx, pk container.Packet, emit Emit) {
-	if b.blocks == nil {
-		b.blocks = make(map[int]*records.Buffer)
-		b.fill = make(map[int]int)
-	}
 	n := pk.Len()
-	bucket := pk.Bucket
+	idx := pk.Bucket + 1
+	if idx < 0 {
+		panic(fmt.Sprintf("functor: blocksort bucket %d < -1", pk.Bucket))
+	}
+	for idx >= len(b.blocks) {
+		b.blocks = append(b.blocks, records.Buffer{})
+		b.fill = append(b.fill, 0)
+	}
 	for i := 0; i < n; i++ {
-		blk := b.blocks[bucket]
-		if blk == nil {
-			nb := records.NewBuffer(b.Beta, b.RecSize)
-			blk = &nb
-			b.blocks[bucket] = blk
+		if b.blocks[idx].Len() == 0 {
+			b.blocks[idx] = records.NewPooled(b.Beta, b.RecSize)
 		}
-		copy(blk.Record(b.fill[bucket]), pk.Buf.Record(i))
-		b.fill[bucket]++
-		if b.fill[bucket] == b.Beta {
-			b.emitRun(bucket, emit)
+		copy(b.blocks[idx].Record(b.fill[idx]), pk.Buf.Record(i))
+		b.fill[idx]++
+		if b.fill[idx] == b.Beta {
+			b.emitRun(idx, emit)
 		}
 	}
+	pk.Release() // input records now live in the run blocks
 }
 
 func (b *BlockSort) Flush(ctx *Ctx, emit Emit) {
-	// Emit remaining partial blocks in bucket order for determinism.
-	buckets := make([]int, 0, len(b.fill))
-	for bk, f := range b.fill {
-		if f > 0 {
-			buckets = append(buckets, bk)
+	// Emit remaining partial blocks in ascending slot (= bucket) order
+	// for determinism, matching the sorted-bucket order used before the
+	// dense-slice representation.
+	for idx := range b.blocks {
+		if b.fill[idx] > 0 {
+			b.emitRun(idx, emit)
 		}
-	}
-	sort.Ints(buckets)
-	for _, bk := range buckets {
-		b.emitRun(bk, emit)
 	}
 }
 
-func (b *BlockSort) emitRun(bucket int, emit Emit) {
-	blk := b.blocks[bucket]
-	buf := blk.Slice(0, b.fill[bucket])
+func (b *BlockSort) emitRun(idx int, emit Emit) {
+	buf := b.blocks[idx].Slice(0, b.fill[idx])
 	buf.Sort()
-	b.blocks[bucket] = nil
-	b.fill[bucket] = 0
+	b.blocks[idx] = records.Buffer{}
+	b.fill[idx] = 0
 	b.runSeq++
-	emit(container.Packet{Buf: buf, Sorted: true, Bucket: bucket, Run: b.runSeq})
+	// The run packet owns its pooled block (length-prefix slices keep the
+	// full pool capacity).
+	emit(container.Packet{Buf: buf, Sorted: true, Bucket: idx - 1, Run: b.runSeq, Owned: true})
 }
 
 // ASUEligible: BlockSort is a prevalidated kernel primitive ("More complex
@@ -149,7 +148,9 @@ var _ Kernel = (*BlockSort)(nil)
 
 // Sink is a terminal kernel that hands every packet to a user function —
 // typically one that appends to a container on the instance's node,
-// incurring that node's storage costs.
+// incurring that node's storage costs. Fn consumes the packet: appending
+// its buffer to a container transfers ownership to the engine; sinks that
+// only inspect the packet must Release it (or retain it and release later).
 type Sink struct {
 	Label string
 	Fn    func(ctx *Ctx, pk container.Packet)
@@ -215,10 +216,12 @@ func (f *FusedDistributeSort) Process(ctx *Ctx, pk container.Packet, emit Emit) 
 	n := pk.Len()
 	for i := 0; i < n; i++ {
 		rec := pk.Buf.Record(i)
-		k := records.Key(uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24)
-		bucket := records.BucketOf(k, f.dist.Splitters)
+		bucket := records.BucketOf(records.KeyOf(rec), f.dist.Splitters)
+		// Sub-packets alias pk's buffer and are unowned; BlockSort's
+		// release of them is a no-op.
 		f.sort.Process(ctx, container.Packet{Buf: pk.Buf.Slice(i, i+1), Bucket: bucket, Run: -1}, emit)
 	}
+	pk.Release()
 }
 
 func (f *FusedDistributeSort) Flush(ctx *Ctx, emit Emit) { f.sort.Flush(ctx, emit) }

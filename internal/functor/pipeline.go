@@ -197,6 +197,7 @@ type Discard struct {
 func (d *Discard) deliver(ctx *Ctx, pk container.Packet) {
 	d.Packets++
 	d.Records += int64(pk.Len())
+	pk.Release() // terminal drop: recycle owned buffers
 }
 
 func (d *Discard) producerDone(ctx *Ctx) {
@@ -428,7 +429,12 @@ func (in *Instance) run(proc *sim.Proc) {
 		svcStart := proc.Now()
 		in.PacketsIn++
 		in.RecordsIn += int64(pk.Len())
-		proc.TraceBegin("packet", "functor", trace.Arg{Key: "records", Val: pk.Len()})
+		// Guarded so the per-packet variadic arg slice is only built when a
+		// tracer is attached; this loop runs once per packet per hop.
+		traced := proc.Tracing()
+		if traced {
+			proc.TraceBegin("packet", "functor", trace.Arg{Key: "records", Val: pk.Len()})
+		}
 		if !in.Stage.NoCPU {
 			ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
 			in.OpsCharged += ops
@@ -438,7 +444,9 @@ func (in *Instance) run(proc *sim.Proc) {
 		svc := sim.Duration(proc.Now() - svcStart)
 		svcH.ObserveDuration(svc)
 		latH.ObserveDuration(wait + svc)
-		proc.TraceEnd()
+		if traced {
+			proc.TraceEnd()
+		}
 	}
 	in.kernel.Flush(ctx, emit)
 	in.out.Close() // the courier signals producerDone after draining

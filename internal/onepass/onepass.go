@@ -173,6 +173,10 @@ func Sort(cl *cluster.Cluster, cfg Config, in *dsmsort.Input) (*Result, error) {
 			return nil, fmt.Errorf("onepass: host %d held %d records, memory is %d", hi, n, cl.Params.HostMemRecords)
 		}
 	}
+	// Validation done; recycle the retained output packets.
+	for i := range outs {
+		outs[i].Release()
+	}
 	return res, nil
 }
 

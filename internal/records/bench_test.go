@@ -54,3 +54,14 @@ func BenchmarkExponentialDraw(b *testing.B) {
 		d.Draw(rng)
 	}
 }
+
+var keySink Key
+
+func BenchmarkKeyOf(b *testing.B) {
+	buf := Generate(4096, DefaultSize, 1, Uniform{})
+	b.SetBytes(4) // key bytes extracted per op
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keySink = KeyOf(buf.Record(i & 4095))
+	}
+}

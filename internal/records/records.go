@@ -13,6 +13,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"lmas/internal/bufpool"
 )
 
 // DefaultSize is the record size used throughout the paper's evaluation.
@@ -26,6 +28,11 @@ type Key uint32
 
 // MaxKey is the largest representable key.
 const MaxKey Key = math.MaxUint32
+
+// KeyOf extracts a record's sort key from its leading bytes. This is the
+// single little-endian key load every kernel shares; encoding/binary
+// compiles it to one 4-byte load.
+func KeyOf(rec []byte) Key { return Key(binary.LittleEndian.Uint32(rec)) }
 
 // Buffer is a dense array of n fixed-size records backed by a single byte
 // slice, the in-memory representation of a block of records. Buffers are
@@ -41,6 +48,27 @@ func NewBuffer(n, size int) Buffer {
 		panic(fmt.Sprintf("records: size %d < KeyBytes", size))
 	}
 	return Buffer{data: make([]byte, n*size), size: size}
+}
+
+// NewPooled draws a buffer of n records from the process-wide buffer pool.
+// Unlike NewBuffer, the contents are UNSPECIFIED: callers must write every
+// record they later read. The caller owns the buffer exclusively and is
+// responsible for returning it — directly with Release, or by transferring
+// ownership into a container packet or block engine that releases it later.
+func NewPooled(n, size int) Buffer {
+	if size < KeyBytes {
+		panic(fmt.Sprintf("records: size %d < KeyBytes", size))
+	}
+	return Buffer{data: bufpool.Get(n * size), size: size}
+}
+
+// Release returns the buffer's storage to the pool. The caller must own the
+// storage exclusively and must not use b (or any alias) afterwards. Safe on
+// buffers that did not come from the pool: their storage is left to the GC.
+func (b Buffer) Release() {
+	if len(b.data) > 0 {
+		bufpool.Put(b.data)
+	}
 }
 
 // FromBytes wraps data (whose length must be a multiple of size) as a Buffer.
@@ -102,6 +130,17 @@ func (b Buffer) Slice(lo, hi int) Buffer {
 // Clone returns a deep copy of b.
 func (b Buffer) Clone() Buffer {
 	d := make([]byte, len(b.data))
+	copy(d, b.data)
+	return Buffer{data: d, size: b.size}
+}
+
+// ClonePooled returns a deep copy of b backed by pool storage. Use it where
+// a packet needs its own copy of a slice of a larger buffer (loading input
+// sets, staging flushes): the copy's ownership transfers into whatever
+// structure the packet lands in, and comes back to the pool when that
+// structure frees it.
+func (b Buffer) ClonePooled() Buffer {
+	d := bufpool.Get(len(b.data))
 	copy(d, b.data)
 	return Buffer{data: d, size: b.size}
 }

@@ -360,3 +360,20 @@ func TestExpectedShareUniform(t *testing.T) {
 		t.Fatalf("exponential shares sum to %v", total)
 	}
 }
+
+// TestKeyOf pins the on-disk key encoding: the first four record bytes,
+// little-endian, so KeyOf agrees with Buffer.Key for every record.
+func TestKeyOf(t *testing.T) {
+	rec := []byte{0xef, 0xbe, 0xad, 0xde, 0x99, 0x99}
+	if got := KeyOf(rec); got != 0xdeadbeef {
+		t.Fatalf("KeyOf = %#x, want 0xdeadbeef", got)
+	}
+	b := Generate(64, 16, 3, Uniform{})
+	for i := 0; i < b.Len(); i++ {
+		rec := b.Record(i)
+		manual := Key(rec[0]) | Key(rec[1])<<8 | Key(rec[2])<<16 | Key(rec[3])<<24
+		if KeyOf(rec) != manual || KeyOf(rec) != b.Key(i) {
+			t.Fatalf("record %d: KeyOf=%#x manual=%#x Key=%#x", i, KeyOf(rec), manual, b.Key(i))
+		}
+	}
+}

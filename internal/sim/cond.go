@@ -8,15 +8,16 @@ package sim
 // predicate in a loop around Wait, because other procs may run between the
 // signal and the wakeup.
 type Cond struct {
-	sim     *Sim
-	waiters []*Proc
-	what    string
+	sim      *Sim
+	waiters  []*Proc
+	what     string
+	waitWhat string // "wait: " + what, precomputed so Wait is allocation-free
 }
 
 // NewCond creates a condition variable. what describes the awaited condition
 // in deadlock reports.
 func NewCond(s *Sim, what string) *Cond {
-	c := &Cond{sim: s, what: what}
+	c := &Cond{sim: s, what: what, waitWhat: "wait: " + what}
 	s.registerPurger(c)
 	return c
 }
@@ -27,7 +28,7 @@ func (c *Cond) purge(p *Proc) { c.waiters = removeProc(c.waiters, p) }
 // Wait parks p until another proc or event calls Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	p.park("wait: " + c.what)
+	p.park(c.waitWhat)
 }
 
 // Signal wakes the longest-waiting proc, if any. The wakeup is delivered as

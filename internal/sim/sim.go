@@ -371,6 +371,12 @@ func (p *Proc) park(why string) {
 	}
 }
 
+// Tracing reports whether trace events on this proc reach a sink. Hot paths
+// that would build variadic trace args per event should check it first: the
+// Trace* methods no-op when untraced, but their argument slices still
+// allocate at the call site.
+func (p *Proc) Tracing() bool { return p.sim.tracer != nil && p.track != 0 }
+
 // TraceBegin opens a span on the proc's trace track; close it with TraceEnd.
 // All trace methods no-op when the sim is untraced.
 func (p *Proc) TraceBegin(name, cat string, args ...trace.Arg) {

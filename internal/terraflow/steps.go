@@ -64,7 +64,7 @@ func Restructure(cl *cluster.Cluster, g *Grid, placement dsmsort.Placement, pack
 			if fill == 0 {
 				return
 			}
-			pk := container.NewPacket(buf.Slice(0, fill).Clone())
+			pk := container.NewPacket(buf.Slice(0, fill).ClonePooled())
 			if compute.Kind == cluster.Host {
 				// Records return to dumb storage over the net.
 				cl.Net.Stream(p, compute.NIC, asu.NIC, pk.Bytes()+64)
