@@ -122,6 +122,7 @@ func runFig10(args []string) error {
 	opt := experiments.DefaultFig10Options()
 	fs.IntVar(&opt.N, "n", opt.N, "input records")
 	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	fs.BoolVar(&opt.Critpath, "critpath", opt.Critpath, "attach the critical-path profiler to both runs")
 	report := fs.String("report", "", "write the load-managed run's RunReport here (and the static run's next to it as <name>.static.json)")
 	fs.Parse(args)
 	res, err := experiments.RunFig10(opt)
@@ -129,6 +130,13 @@ func runFig10(args []string) error {
 		return err
 	}
 	fmt.Println(res.Summary())
+	for _, run := range []experiments.Fig10Run{res.Static, res.Managed} {
+		if cp := run.Report.Critpath; cp != nil {
+			fmt.Printf("critpath [%s]: bottleneck %s (%.1f%% of per-instance congestion), predicted %s — agreement: %s\n",
+				run.Policy, cp.Verdict.Observed, cp.Verdict.ObservedShare*100,
+				cp.Verdict.Predicted, cp.Verdict.Agree)
+		}
+	}
 	fmt.Println(res.Table())
 	if *report != "" {
 		if err := telemetry.WriteJSON(*report, res.Managed.Report); err != nil {

@@ -11,8 +11,11 @@ import (
 	"os"
 	"strings"
 
+	"lmas/internal/bufpool"
 	"lmas/internal/cluster"
+	"lmas/internal/critpath"
 	"lmas/internal/dsmsort"
+	"lmas/internal/experiments"
 	"lmas/internal/prof"
 	"lmas/internal/route"
 	"lmas/internal/sim"
@@ -34,6 +37,8 @@ func main() {
 		policy    = flag.String("policy", "static", "static|rr|sr|load-aware")
 		dist      = flag.String("dist", "uniform", "uniform|exp|zipf|sorted|halves")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		netMBps   = flag.Float64("net", 0, "per-interface network bandwidth override (MB/s, 0 = default)")
+		critflag  = flag.Bool("critpath", false, "attach the critical-path profiler and print the bottleneck verdict")
 		progress  = flag.Int("progress", 0, "progress sampling interval in virtual ms (0 = off)")
 		traceFile = flag.String("trace", "", "write a structured trace of the run (.json for Perfetto/chrome://tracing, .csv for a flat series)")
 		report    = flag.String("report", "", "write a machine-readable RunReport (JSON) of the run")
@@ -50,6 +55,9 @@ func main() {
 
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = *hosts, *asus, *c
+	if *netMBps > 0 {
+		params.NetBandwidth = *netMBps * 1e6
+	}
 	cl := cluster.New(params)
 
 	var sink *trace.Sink
@@ -59,6 +67,11 @@ func main() {
 	}
 	if *report != "" {
 		cl.AttachTelemetry(telemetry.NewRegistry(), 0)
+	}
+	var pf *critpath.Profiler
+	if *critflag {
+		pf = critpath.New()
+		cl.AttachProfiler(pf)
 	}
 
 	in, err := dsmsort.MakeInputNamed(cl, *n, *dist, *seed, *packet)
@@ -125,7 +138,12 @@ func main() {
 		fmt.Printf("  trace: %d events on %d tracks -> %s\n",
 			sink.Events(), sink.Tracks(), *traceFile)
 	}
+	var cpRep *critpath.Report
 	if *report != "" {
+		// Pool-health gauges must land in the registry before BuildReport
+		// snapshots it. This is a single-run process, so the process-global
+		// default pool's counters describe exactly this run.
+		cl.Telemetry.FillBufpoolGauges(cl.Sim.Now(), bufpool.ClassStatsSnapshot())
 		rep := cl.BuildReport("dsmsort", *seed, res.Elapsed)
 		rep.Workload = map[string]any{
 			"program":   "dsmsort",
@@ -138,11 +156,36 @@ func main() {
 			"policy":    *policy,
 			"dist":      *dist,
 		}
+		cpRep = rep.Critpath
+		setPrediction(cpRep, params, cfg)
 		if err := telemetry.WriteJSON(*report, rep); err != nil {
 			fail(err)
 		}
 		fmt.Printf("  report: %d counters, %d histograms, %d decisions -> %s\n",
 			len(rep.Counters), len(rep.Histograms), len(rep.Decisions), *report)
+	} else if pf != nil {
+		cpRep = pf.Report()
+		setPrediction(cpRep, params, cfg)
+	}
+	if cpRep != nil {
+		fmt.Printf("  critpath: %d chains, %d charges; bottleneck %s (%.1f%% of per-instance congestion)\n",
+			cpRep.Chains, cpRep.Charges, cpRep.Verdict.Observed, cpRep.Verdict.ObservedShare*100)
+		if cpRep.Verdict.Predicted != "" {
+			fmt.Printf("  critpath: model predicts %s (%.3g rec/s) — agreement: %s\n",
+				cpRep.Verdict.Predicted, cpRep.Verdict.PredictedRate, cpRep.Verdict.Agree)
+		}
+	}
+}
+
+// setPrediction stamps the Pass1Model's analytic bottleneck into the critpath
+// verdict; a nil report or an uncovered placement leaves it observation-only.
+func setPrediction(cp *critpath.Report, params cluster.Params, cfg dsmsort.Config) {
+	if cp == nil {
+		return
+	}
+	if rates, ok := experiments.PredictRates(params, cfg.Placement, cfg.Alpha, cfg.Beta); ok {
+		cls, rate := rates.Bottleneck()
+		cp.SetPrediction(cls, rate)
 	}
 }
 

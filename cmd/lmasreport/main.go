@@ -3,6 +3,7 @@
 // paper's "compare two runs" methodology into a repeatable CLI:
 //
 //	lmasreport show  run.json [-svg util.svg] [-all]
+//	lmasreport critpath run.json [-svg attr.svg]
 //	lmasreport diff  base.json new.json [-runtime-threshold 0.10] [-p99-threshold T]
 //	lmasreport bench [-quick] [-o FILE] [-seed S]
 //
@@ -30,6 +31,8 @@ func main() {
 	switch cmd {
 	case "show":
 		err = runShow(args)
+	case "critpath":
+		err = runCritpath(args)
 	case "diff":
 		err = runDiff(args)
 	case "bench":
@@ -66,6 +69,8 @@ func usage() {
 
 commands:
   show  FILE [-svg OUT.svg] [-all]     render a report as tables (+ utilization plot)
+  critpath FILE [-svg OUT.svg]         latency attribution: bottleneck verdict,
+                                       critical path, per-stage waterfall
   diff  BASE NEW [-runtime-threshold R] [-p99-threshold P] [-q]
                                        field-by-field comparison; exit 1 on regression
   bench [-quick] [-o FILE] [-seed S] [-stamp=false]

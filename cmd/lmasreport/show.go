@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"lmas/internal/loadmgr"
 	"lmas/internal/metrics"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -60,12 +62,30 @@ func showReport(rep *telemetry.RunReport) {
 	fmt.Println(t)
 
 	if len(rep.Nodes) > 0 {
-		t := metrics.NewTable("Mean utilization per node", "node", "kind", "cpu", "disk", "nic")
+		t := metrics.NewTable("Utilization per node (mean / peak)",
+			"node", "kind", "cpu", "disk", "nic")
+		var hostCPU, asuCPU [][]float64
 		for _, n := range rep.Nodes {
-			t.AddRow(n.Name, n.Kind, meanOf(n.CPU), meanOf(n.Disk), meanOf(n.NIC))
+			t.AddRow(n.Name, n.Kind, meanPeakOf(n.CPU), meanPeakOf(n.Disk), meanPeakOf(n.NIC))
+			if n.CPU != nil {
+				switch n.Kind {
+				case "host":
+					hostCPU = append(hostCPU, n.CPU.Util)
+				case "asu":
+					asuCPU = append(asuCPU, n.CPU.Util)
+				}
+			}
 		}
 		fmt.Println(t)
+		if imb := loadmgr.ImbalanceSeries(hostCPU, 0); len(hostCPU) >= 2 {
+			fmt.Printf("host CPU imbalance (mean utilization spread): %.3f\n", imb)
+		}
+		if imb := loadmgr.ImbalanceSeries(asuCPU, 0); len(asuCPU) >= 2 {
+			fmt.Printf("ASU CPU imbalance (mean utilization spread): %.3f\n", imb)
+		}
 	}
+	showPoolHealth(rep)
+	showQueues(rep)
 	if len(rep.Counters) > 0 {
 		t := metrics.NewTable("Counters", "name", "value")
 		for _, c := range rep.Counters {
@@ -100,11 +120,83 @@ func showReport(rep *telemetry.RunReport) {
 	}
 }
 
-func meanOf(s *telemetry.UtilSeries) string {
+func meanPeakOf(s *telemetry.UtilSeries) string {
 	if s == nil {
 		return "-"
 	}
-	return fmt.Sprintf("%.3f", s.Mean)
+	peak := 0.0
+	for _, u := range s.Util {
+		if u > peak {
+			peak = u
+		}
+	}
+	return fmt.Sprintf("%.3f / %.3f", s.Mean, peak)
+}
+
+// lastGauge returns a gauge's final sample value by exact name.
+func lastGauge(rep *telemetry.RunReport, name string) (float64, bool) {
+	for _, g := range rep.Gauges {
+		if g.Name == name && len(g.Samples) > 0 {
+			return g.Samples[len(g.Samples)-1].V, true
+		}
+	}
+	return 0, false
+}
+
+// showPoolHealth renders the bufpool.<size>.* gauges dsmsort -report emits:
+// per-size-class draws, free-list hit rate, leftover in-use count, and the
+// peak simultaneous demand.
+func showPoolHealth(rep *telemetry.RunReport) {
+	var sizes []int
+	for _, g := range rep.Gauges {
+		var size int
+		if n, _ := fmt.Sscanf(g.Name, "bufpool.%d.gets", &size); n == 1 {
+			sizes = append(sizes, size)
+		}
+	}
+	if len(sizes) == 0 {
+		return
+	}
+	sort.Ints(sizes)
+	t := metrics.NewTable("Buffer-pool health per size class",
+		"size(B)", "gets", "hit-rate", "in-use", "high-water")
+	for _, size := range sizes {
+		prefix := fmt.Sprintf("bufpool.%d.", size)
+		gets, _ := lastGauge(rep, prefix+"gets")
+		hits, _ := lastGauge(rep, prefix+"hits")
+		inUse, _ := lastGauge(rep, prefix+"in_use")
+		high, _ := lastGauge(rep, prefix+"high_water")
+		rate := 0.0
+		if gets > 0 {
+			rate = hits / gets
+		}
+		t.AddRow(size, int64(gets), fmt.Sprintf("%.1f%%", rate*100), int64(inUse), int64(high))
+	}
+	fmt.Println(t)
+}
+
+// showQueues renders the queue.<name>.* gauges: each simulation queue's
+// cumulative packet wait and occupancy high-water mark.
+func showQueues(rep *telemetry.RunReport) {
+	var names []string
+	for _, g := range rep.Gauges {
+		if rest, ok := strings.CutPrefix(g.Name, "queue."); ok {
+			if name, ok := strings.CutSuffix(rest, ".wait_sec"); ok {
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	t := metrics.NewTable("Queue wait per queue", "queue", "cum-wait(s)", "high-water")
+	for _, name := range names {
+		wait, _ := lastGauge(rep, "queue."+name+".wait_sec")
+		high, _ := lastGauge(rep, "queue."+name+".high_water")
+		t.AddRow(name, fmt.Sprintf("%.4f", wait), int64(high))
+	}
+	fmt.Println(t)
 }
 
 func sortedKeys(m map[string]any) []string {

@@ -55,10 +55,18 @@ type Pool struct {
 	free [classes][][]byte
 
 	gets, reuses, puts, drops uint64
+	class                     [classes]classCounters
 
 	debug       bool
 	outstanding map[*byte]int // live Get buffers: base pointer -> class
 	pooled      map[*byte]bool
+}
+
+// classCounters is one size class's lifetime accounting.
+type classCounters struct {
+	gets, hits uint64
+	inUse      int64 // gets minus puts; floored at zero (foreign buffers)
+	highWater  int64
 }
 
 // classFor returns the class index whose size is the smallest power of two
@@ -93,12 +101,19 @@ func (p *Pool) Get(n int) []byte {
 	}
 	p.mu.Lock()
 	p.gets++
+	cc := &p.class[c]
+	cc.gets++
+	cc.inUse++
+	if cc.inUse > cc.highWater {
+		cc.highWater = cc.inUse
+	}
 	var b []byte
 	if fl := p.free[c]; len(fl) > 0 {
 		b = fl[len(fl)-1]
 		fl[len(fl)-1] = nil
 		p.free[c] = fl[:len(fl)-1]
 		p.reuses++
+		cc.hits++
 	}
 	if p.debug {
 		if b != nil {
@@ -134,6 +149,11 @@ func (p *Pool) Put(b []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.puts++
+	if poolable {
+		if cc := &p.class[classFor(cs)]; cc.inUse > 0 {
+			cc.inUse--
+		}
+	}
 	if p.debug {
 		bp := base(b)
 		if p.pooled[bp] {
@@ -214,6 +234,37 @@ func (p *Pool) Stats() (gets, reuses, puts, drops uint64) {
 	return p.gets, p.reuses, p.puts, p.drops
 }
 
+// ClassStats is one size class's pool-health snapshot.
+type ClassStats struct {
+	Size      int    // class buffer size in bytes
+	Gets      uint64 // buffers drawn from this class
+	Hits      uint64 // draws served from the free list
+	InUse     int64  // buffers currently drawn and not returned
+	HighWater int64  // peak simultaneous in-use count
+}
+
+// ClassStatsSnapshot reports per-size-class counters for every class that has
+// seen at least one Get, smallest class first.
+func (p *Pool) ClassStatsSnapshot() []ClassStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []ClassStats
+	for c := range p.class {
+		cc := p.class[c]
+		if cc.gets == 0 {
+			continue
+		}
+		out = append(out, ClassStats{
+			Size:      classSize(c),
+			Gets:      cc.gets,
+			Hits:      cc.hits,
+			InUse:     cc.inUse,
+			HighWater: cc.highWater,
+		})
+	}
+	return out
+}
+
 // Default is the process-wide pool the record/container/engine layers share.
 var Default Pool
 
@@ -231,3 +282,6 @@ func LeakCheck() error { return Default.LeakCheck() }
 
 // Outstanding reports the default pool's unreturned tracked buffers.
 func Outstanding() int { return Default.Outstanding() }
+
+// ClassStatsSnapshot reports the default pool's per-class counters.
+func ClassStatsSnapshot() []ClassStats { return Default.ClassStatsSnapshot() }

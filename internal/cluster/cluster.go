@@ -14,6 +14,7 @@ package cluster
 import (
 	"fmt"
 
+	"lmas/internal/critpath"
 	"lmas/internal/disk"
 	"lmas/internal/metrics"
 	"lmas/internal/netsim"
@@ -206,6 +207,7 @@ func (n *Node) Compute(p *sim.Proc, ops float64) {
 	d := sim.Duration(ops / n.OpsPerSec * float64(sim.Second))
 	if n.Quantum <= 0 {
 		n.CPU.Use(p, d)
+		n.chargeCPU(p, d)
 		return
 	}
 	for d > 0 {
@@ -214,7 +216,18 @@ func (n *Node) Compute(p *sim.Proc, ops float64) {
 			q = d
 		}
 		n.CPU.Use(p, q)
+		n.chargeCPU(p, q)
 		d -= q
+	}
+}
+
+// chargeCPU attributes a just-completed CPU hold of duration d (ending now)
+// to the attached profiler. Queueing ahead of the hold is charged separately
+// by the resource's acquire path.
+func (n *Node) chargeCPU(p *sim.Proc, d sim.Duration) {
+	if pf := p.Sim().Profiler(); pf != nil {
+		now := p.Now()
+		pf.Charge(p, sim.ChargeCPU, n.Name, now.Add(-d), now)
 	}
 }
 
@@ -228,6 +241,7 @@ func (n *Node) ServeRequest(p *sim.Proc, ops float64) {
 	}
 	d := sim.Duration(ops / n.OpsPerSec * float64(sim.Second))
 	n.CPU.UseHigh(p, d)
+	n.chargeCPU(p, d)
 }
 
 // ComputeDuration reports how long ops of work takes on this node when the
@@ -249,6 +263,11 @@ type Cluster struct {
 	// Telemetry is the run's instrument registry; nil (the default) means
 	// telemetry is off and instrumented code no-ops. Set via AttachTelemetry.
 	Telemetry *telemetry.Registry
+
+	// Profiler is the run's latency-attribution engine; nil (the default)
+	// means attribution is off and instrumented code pays one pointer
+	// check. Set via AttachProfiler.
+	Profiler *critpath.Profiler
 }
 
 // New builds a cluster on a fresh simulator. It panics if p is invalid; use
@@ -368,6 +387,20 @@ func (c *Cluster) AttachTelemetry(reg *telemetry.Registry, window sim.Duration) 
 	}
 }
 
+// AttachProfiler installs a critical-path profiler on the cluster and its
+// simulator; nil detaches. Like telemetry, the profiler is a pure observer
+// of intervals the simulation already computes, so attaching it never
+// changes virtual-time behaviour. Attach before spawning workload procs so
+// every hand-off is seen.
+func (c *Cluster) AttachProfiler(pf *critpath.Profiler) {
+	c.Profiler = pf
+	if pf == nil {
+		c.Sim.SetProfiler(nil) // avoid a typed-nil interface in the sim
+		return
+	}
+	c.Sim.SetProfiler(pf)
+}
+
 // BuildReport snapshots the cluster's configuration, per-node utilization
 // traces, and (when telemetry is attached) every registered instrument and
 // the decision audit log into a RunReport.
@@ -396,5 +429,8 @@ func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *te
 		})
 	}
 	c.Telemetry.Fill(rep)
+	if c.Profiler != nil {
+		rep.Critpath = c.Profiler.Report()
+	}
 	return rep
 }

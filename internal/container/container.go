@@ -34,6 +34,11 @@ type Packet struct {
 	// storage. Release returns owned storage to the buffer pool; appending
 	// an owned packet to a collection transfers ownership to the engine.
 	Owned bool
+	// Prov is the packet's provenance chain in the critical-path profiler,
+	// or 0 when no profiler is attached (or the packet predates one).
+	// Chains do not persist through collection storage: packets reloaded
+	// from an engine start unchained.
+	Prov int32
 }
 
 // NewPacket wraps buf in an unannotated packet that does not own its storage.

@@ -1,0 +1,248 @@
+package critpath
+
+import (
+	"math"
+	"sort"
+
+	"lmas/internal/sim"
+)
+
+// WaterfallRow is one (stage, node) cell of the attribution waterfall, in
+// raw charge kinds: where procs of this stage on this node spent their
+// virtual time. Durations are exact nanosecond integers so reports are
+// byte-stable.
+type WaterfallRow struct {
+	Stage       string `json:"stage"`
+	Node        string `json:"node"`
+	CPUNs       int64  `json:"cpu_ns"`
+	DiskNs      int64  `json:"disk_ns"`
+	NetNs       int64  `json:"net_ns"`
+	QueueWaitNs int64  `json:"queue_wait_ns"`
+	CondWaitNs  int64  `json:"cond_wait_ns"`
+	Charges     int64  `json:"charges"`
+}
+
+// TotalNs reports the row's total attributed time.
+func (r WaterfallRow) TotalNs() int64 {
+	return r.CPUNs + r.DiskNs + r.NetNs + r.QueueWaitNs + r.CondWaitNs
+}
+
+// ClassShare is one blame class's share of an attributed total. In the
+// report's Blame section, Instances is the number of resource instances
+// behind the class (nodes binding that processor class, disks charged, one
+// shared interconnect) — the divisor the verdict uses to rank per-instance
+// congestion.
+type ClassShare struct {
+	Class     string  `json:"class"`
+	Ns        int64   `json:"ns"`
+	Share     float64 `json:"share"`
+	Instances int     `json:"instances,omitempty"`
+}
+
+// Path summarizes the critical path: the lineage of charged intervals ending
+// at the last chain to finish, walked back through derivation parents to the
+// first read. The conservation identity span == attributed + gap holds per
+// chain; across a lineage a parent may keep working briefly after deriving a
+// child, so the reported gap is clamped at zero.
+type Path struct {
+	Hops         int          `json:"hops"`
+	BornNs       int64        `json:"born_ns"`
+	EndNs        int64        `json:"end_ns"`
+	SpanNs       int64        `json:"span_ns"`
+	AttributedNs int64        `json:"attributed_ns"`
+	GapNs        int64        `json:"gap_ns"`
+	Classes      []ClassShare `json:"classes"`
+}
+
+// Verdict names the observed bottleneck — the physical resource class with
+// the most attributed packet latency per resource instance — and, once
+// SetPrediction has run, the analytic model's predicted bottleneck, so
+// predicted-vs-observed disagreement is a single diffable field.
+// ObservedShare is the winner's fraction of the per-instance congestion
+// scores across the four physical classes.
+type Verdict struct {
+	Observed      string  `json:"observed"`
+	ObservedShare float64 `json:"observed_share"`
+	Predicted     string  `json:"predicted,omitempty"`
+	PredictedRate float64 `json:"predicted_rec_per_sec,omitempty"`
+	Agree         string  `json:"agree,omitempty"`
+}
+
+// Report is the end-of-run attribution summary, embedded in the RunReport's
+// critpath section. Blame aggregates blamed time over every live chain —
+// where packet latency went across the whole run — and is what the verdict is
+// judged on; Path singles out the last lineage to finish, whose shares
+// describe tail latency rather than steady-state throughput.
+type Report struct {
+	Chains    int            `json:"chains"`
+	Charges   int64          `json:"charges"`
+	Waterfall []WaterfallRow `json:"waterfall"`
+	Blame     []ClassShare   `json:"blame"`
+	Path      Path           `json:"path"`
+	Verdict   Verdict        `json:"verdict"`
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// SetPrediction records the analytic model's predicted bottleneck class and
+// limiting rate (records/second) and fills the agreement field.
+func (r *Report) SetPrediction(class Class, recPerSec float64) {
+	r.Verdict.Predicted = string(class)
+	r.Verdict.PredictedRate = round6(recPerSec)
+	if r.Verdict.Observed == "" {
+		return
+	}
+	if r.Verdict.Observed == string(class) {
+		r.Verdict.Agree = "yes"
+	} else {
+		r.Verdict.Agree = "no"
+	}
+}
+
+// Report aggregates the profiler's state into a deterministic summary:
+// waterfall rows sorted by (stage, node), the critical path, and the
+// observed-bottleneck verdict. Safe on a nil profiler (returns nil).
+func (pf *Profiler) Report() *Report {
+	if pf == nil {
+		return nil
+	}
+	rep := &Report{Chains: pf.NumChains(), Charges: pf.charges}
+
+	rows := make([]*row, len(pf.rowList))
+	copy(rows, pf.rowList)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].stage != rows[j].stage {
+			return rows[i].stage < rows[j].stage
+		}
+		return rows[i].node < rows[j].node
+	})
+	for _, r := range rows {
+		rep.Waterfall = append(rep.Waterfall, WaterfallRow{
+			Stage:       r.stage,
+			Node:        r.node,
+			CPUNs:       r.kinds[sim.ChargeCPU],
+			DiskNs:      r.kinds[sim.ChargeDisk],
+			NetNs:       r.kinds[sim.ChargeNet],
+			QueueWaitNs: r.kinds[sim.ChargeQueueWait],
+			CondWaitNs:  r.kinds[sim.ChargeCondWait],
+			Charges:     r.charges,
+		})
+	}
+
+	// Aggregate blame: where attributed packet latency went, summed over
+	// every live chain. A throughput bottleneck shows up here no matter
+	// which packet happens to finish last: saturated-stage queue time and
+	// backpressure waits are blamed on the saturated resource, so its share
+	// dominates when it limits the run.
+	var totalNs [numClasses]int64
+	for i := range pf.chains {
+		ch := &pf.chains[i]
+		if ch.dead {
+			continue
+		}
+		for c, v := range ch.ns {
+			totalNs[c] += v
+		}
+	}
+	var totalAttr int64
+	for _, v := range totalNs {
+		totalAttr += v
+	}
+	counts := pf.classNodeCounts()
+	for c := 0; c < numClasses; c++ {
+		share := 0.0
+		if totalAttr > 0 {
+			share = round6(float64(totalNs[c]) / float64(totalAttr))
+		}
+		rep.Blame = append(rep.Blame, ClassShare{
+			Class:     string(classNames[c]),
+			Ns:        totalNs[c],
+			Share:     share,
+			Instances: counts[c],
+		})
+	}
+	// Verdict: blame is packet-seconds summed across chains, which weights a
+	// class by how many nodes serve it — sixteen moderately-loaded ASUs
+	// accrue more latency-seconds than one saturated host even when the host
+	// limits throughput. Ranking divides each physical class's blame by its
+	// instance count, scoring per-instance congestion, which is what the
+	// analytic model's per-resource limiting rates predict. Residual waits
+	// (queue-wait, cond-wait) are unattributed time, not a resource, so they
+	// never win; ties go to the first class in declaration order.
+	best := -1
+	var bestScore, scoreSum float64
+	for c := classHostCPU; c <= classNet; c++ {
+		n := counts[c]
+		if n == 0 {
+			n = 1
+		}
+		score := float64(totalNs[c]) / float64(n)
+		scoreSum += score
+		if totalNs[c] > 0 && (best < 0 || score > bestScore) {
+			best, bestScore = c, score
+		}
+	}
+	if best >= 0 {
+		rep.Verdict.Observed = string(classNames[best])
+		if scoreSum > 0 {
+			rep.Verdict.ObservedShare = round6(bestScore / scoreSum)
+		}
+	}
+
+	// Critical path: the lineage ending at the live chain that finishes
+	// last (ties to the earliest-created chain, which is deterministic).
+	tip := int32(0)
+	for i := range pf.chains {
+		ch := &pf.chains[i]
+		if ch.dead {
+			continue
+		}
+		if tip == 0 || ch.end > pf.chains[tip-1].end {
+			tip = int32(i + 1)
+		}
+	}
+	if tip != 0 {
+		var classNs [numClasses]int64
+		hops := 0
+		born := pf.chains[tip-1].born
+		for id := tip; id != 0; id = pf.chains[id-1].parent {
+			ch := &pf.chains[id-1]
+			hops++
+			born = ch.born
+			for c, v := range ch.ns {
+				classNs[c] += v
+			}
+		}
+		var attr int64
+		for _, v := range classNs {
+			attr += v
+		}
+		end := pf.chains[tip-1].end
+		span := int64(end - born)
+		gap := span - attr
+		if gap < 0 {
+			gap = 0
+		}
+		p := Path{
+			Hops:         hops,
+			BornNs:       int64(born),
+			EndNs:        int64(end),
+			SpanNs:       span,
+			AttributedNs: attr,
+			GapNs:        gap,
+		}
+		for c := 0; c < numClasses; c++ {
+			share := 0.0
+			if attr > 0 {
+				share = round6(float64(classNs[c]) / float64(attr))
+			}
+			p.Classes = append(p.Classes, ClassShare{
+				Class: string(classNames[c]),
+				Ns:    classNs[c],
+				Share: share,
+			})
+		}
+		rep.Path = p
+	}
+	return rep
+}

@@ -185,6 +185,9 @@ func (r *Run) Read(p *sim.Proc, n int) {
 			trace.Arg{Key: "bytes", Val: n})
 	}
 	if end > now {
+		if pf := d.s.Profiler(); pf != nil {
+			pf.Charge(p, sim.ChargeDisk, d.name, now, end)
+		}
 		p.Sleep(sim.Duration(end - now))
 	}
 	r.active = true
@@ -203,6 +206,9 @@ func (d *Disk) Write(p *sim.Proc, n int) {
 	}
 	now := d.s.Now()
 	if d.writeDone > now {
+		if pf := d.s.Profiler(); pf != nil {
+			pf.Charge(p, sim.ChargeDisk, d.name, now, d.writeDone)
+		}
 		p.Sleep(sim.Duration(d.writeDone - now))
 	}
 	start, end := d.book(d.s.Now(), n)
@@ -219,6 +225,9 @@ func (d *Disk) Write(p *sim.Proc, n int) {
 func (d *Disk) Flush(p *sim.Proc) {
 	now := d.s.Now()
 	if d.writeDone > now {
+		if pf := d.s.Profiler(); pf != nil {
+			pf.Charge(p, sim.ChargeDisk, d.name, now, d.writeDone)
+		}
 		p.Sleep(sim.Duration(d.writeDone - now))
 	}
 }

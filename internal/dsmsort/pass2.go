@@ -8,6 +8,7 @@ import (
 	"lmas/internal/bufpool"
 	"lmas/internal/cluster"
 	"lmas/internal/container"
+	"lmas/internal/critpath"
 	"lmas/internal/records"
 	"lmas/internal/scratch"
 	"lmas/internal/sim"
@@ -235,24 +236,32 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 
 	// Output collectors: one proc per ASU draining an inbox of final
 	// packets, charging ASU touch (packet reassembly) plus disk write.
+	pf := cl.Profiler
 	collectors := make([]*sim.Queue[container.Packet], d)
 	for i, asu := range cl.ASUs {
 		i, asu := i, asu
 		collectors[i] = sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("out.collect%d", i), 8)
-		cl.Sim.Spawn(fmt.Sprintf("collect@asu%d", i), func(p *sim.Proc) {
+		collectProc := cl.Sim.Spawn(fmt.Sprintf("collect@asu%d", i), func(p *sim.Proc) {
+			pf.Bind(p, "merge.collect", asu.Name, critpath.ClassASUCPU, critpath.ClassASUCPU)
 			touch := cl.Touch(asu)
 			for {
 				pk, ok := collectors[i].Get(p)
 				if !ok {
 					break
 				}
+				pf.BeginPacket(p, pk.Prov)
 				ops := float64(pk.Len()) * touch
 				res.ASUOps += ops
 				asu.Compute(p, ops)
 				out.Streams[i].Append(p, pk)
+				pf.EndPacket(p)
 			}
 			out.Streams[i].Flush(p)
 		})
+		// A host merger blocked on a full collector inbox is being slowed
+		// by the ASU's packet reassembly and output writes; apportion by
+		// the collector proc's mix (ASU CPU plus disk).
+		pf.BlameWaitProc(collectors[i].Name()+" not-full", collectProc, critpath.ClassASUCPU)
 	}
 
 	// Per (bucket, ASU) local merge feeding a bounded stream queue; per
@@ -279,6 +288,7 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 			srcs = append(srcs, asu)
 			b := b
 			cl.Sim.Spawn(fmt.Sprintf("asumerge.b%d@asu%d", b, asuIdx), func(p *sim.Proc) {
+				pf.Bind(p, "merge.asu", asu.Name, critpath.ClassASUCPU, critpath.ClassASUCPU)
 				levels := asuLocalMerge(cl, cfg, p, asu, st, q, res)
 				if levels > res.ASUMergeLevels {
 					res.ASUMergeLevels = levels
@@ -313,10 +323,16 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 	for i, bw := range buckets {
 		bw := bw
 		host := cl.Hosts[i%hostN]
-		cl.Sim.Spawn(fmt.Sprintf("hostmerge.b%d@%s", bw.bucket, host.Name), func(p *sim.Proc) {
+		hostProc := cl.Sim.Spawn(fmt.Sprintf("hostmerge.b%d@%s", bw.bucket, host.Name), func(p *sim.Proc) {
+			pf.Bind(p, "merge.host", host.Name, critpath.ClassHostCPU, critpath.ClassHostCPU)
 			hostBucketMerge(cl, cfg, p, host, bw.bucket, bw.queues, bw.srcs, collectors, &stripe, res)
 			done()
 		})
+		// An ASU merger blocked on its full stream queue is being slowed
+		// by the consuming host merger; apportion by its mix.
+		for _, q := range bw.queues {
+			pf.BlameWaitProc(q.Name()+" not-full", hostProc, critpath.ClassHostCPU)
+		}
 	}
 
 	start := cl.Sim.Now()
@@ -329,6 +345,20 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 		reg.Counter("dsmsort.merge.host_ops").Add(int64(res.HostOps))
 		reg.Counter("dsmsort.merge.asu_ops").Add(int64(res.ASUOps))
 		reg.Gauge("dsmsort.merge.elapsed_sec").Set(cl.Sim.Now(), res.Elapsed.Seconds())
+		now := cl.Sim.Now()
+		flushQueue := func(q *sim.Queue[container.Packet]) {
+			cum, high := q.WaitStats()
+			reg.Gauge("queue."+q.Name()+".wait_sec").Set(now, cum.Seconds())
+			reg.Gauge("queue."+q.Name()+".high_water").Set(now, float64(high))
+		}
+		for _, q := range collectors {
+			flushQueue(q)
+		}
+		for _, bw := range buckets {
+			for _, q := range bw.queues {
+				flushQueue(q)
+			}
+		}
 	}
 	return out, res, nil
 }
@@ -413,15 +443,19 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		}
 	}
 	h.init()
+	pf := cl.Profiler
 	outBuf := records.NewPooled(cfg.PacketRecords, recSize)
 	fill := 0
 	flush := func() {
 		if fill == 0 {
 			return
 		}
+		// Merged packets root fresh provenance chains: their inputs were
+		// stored by pass 1, and chains do not persist through storage.
+		id := pf.StartChain(p)
 		// The packet owns its pooled buffer; the host merger releases it
 		// once the records are copied into the bucket's output.
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1, Owned: true}
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1, Owned: true, Prov: id}
 		ops := float64(fill) * (touch + log2f(len(runs))*cm.CompareOps)
 		res.ASUOps += ops
 		asu.Compute(p, ops)
@@ -430,6 +464,7 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		if err := q.Put(p, pk); err != nil {
 			panic(err)
 		}
+		pf.EndPacket(p)
 		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
 		fill = 0
 	}
@@ -479,13 +514,16 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		heads[i] = container.Packet{}
 		pos[i] = 0
 	}
+	pf := cl.Profiler
 	advance := func(i int) bool {
 		pk, ok := queues[i].Get(p)
 		if !ok {
 			return false
 		}
-		// Charge the ASU->host hop for the received packet.
+		// Charge the ASU->host hop for the received packet, on its chain.
+		pf.BeginPacket(p, pk.Prov)
 		cl.Net.Stream(p, srcs[i].NIC, host.NIC, pk.Bytes()+64)
+		pf.EndPacket(p)
 		heads[i] = pk
 		pos[i] = 0
 		return true
@@ -504,9 +542,13 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		if fill == 0 {
 			return
 		}
+		// Output packets derive from the most recent input chain the merger
+		// consumed, keeping the dependency walk rooted in the ASU mergers.
+		id := pf.Derive(p)
+		pf.BeginPacket(p, id)
 		// The collector appends the packet to the output stream, which
 		// transfers the pooled buffer's ownership to the ASU's engine.
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq, Owned: true}
+		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq, Owned: true, Prov: id}
 		seq++
 		ops := float64(fill) * (touch + log2f(gamma1)*cm.CompareOps)
 		res.HostOps += ops
@@ -517,6 +559,7 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		if err := collectors[dest].Put(p, pk); err != nil {
 			panic(err)
 		}
+		pf.EndPacket(p)
 		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
 		fill = 0
 	}

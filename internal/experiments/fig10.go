@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lmas/internal/cluster"
+	"lmas/internal/critpath"
 	"lmas/internal/dsmsort"
 	"lmas/internal/loadmgr"
 	"lmas/internal/metrics"
@@ -36,6 +37,10 @@ type Fig10Options struct {
 	// independent simulation); < 1 means one worker per CPU. Results are
 	// identical for every value.
 	Jobs int
+	// Critpath attaches the critical-path profiler to both runs and adds
+	// latency-attribution sections (with Pass1Model predictions) to their
+	// reports.
+	Critpath bool
 }
 
 // DefaultFig10Options mirrors the paper's setup: two hosts, 16 ASUs. The
@@ -125,6 +130,9 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		params.UtilWindow = opt.Window
 		cl := cluster.New(params)
 		cl.AttachTelemetry(telemetry.NewRegistry(), opt.Window)
+		if opt.Critpath {
+			cl.AttachProfiler(critpath.New())
+		}
 		in := dsmsort.MakeInputHalves(cl, opt.N, records.Uniform{},
 			records.Exponential{Mean: opt.SkewMean}, opt.Seed, opt.PacketRecords)
 		cfg := dsmsort.Config{
@@ -155,6 +163,12 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 			"packet":  opt.PacketRecords,
 			"policy":  name,
 			"dist":    "halves",
+		}
+		if run.Report.Critpath != nil {
+			if rates, ok := PredictRates(params, dsmsort.Active, opt.Alpha, opt.Beta); ok {
+				cls, rate := rates.Bottleneck()
+				run.Report.Critpath.SetPrediction(cls, rate)
+			}
 		}
 		return run, nil
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"lmas/internal/cluster"
+	"lmas/internal/critpath"
 	"lmas/internal/dsmsort"
+	"lmas/internal/loadmgr"
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -26,6 +28,9 @@ type SortRunSpec struct {
 	Seed          int64
 	// UtilWindow sets the report's utilization window (0 = 100ms default).
 	UtilWindow sim.Duration
+	// Critpath attaches the critical-path profiler and adds a latency
+	// attribution section (with the Pass1Model prediction) to the report.
+	Critpath bool
 }
 
 // RunSortReport executes spec with telemetry attached and returns the run
@@ -37,6 +42,9 @@ func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, err
 	params.Hosts, params.ASUs, params.C = spec.Hosts, spec.ASUs, spec.C
 	cl := cluster.New(params)
 	cl.AttachTelemetry(telemetry.NewRegistry(), spec.UtilWindow)
+	if spec.Critpath {
+		cl.AttachProfiler(critpath.New())
+	}
 
 	in, err := dsmsort.MakeInputNamed(cl, spec.N, spec.Dist, spec.Seed, spec.PacketRecords)
 	if err != nil {
@@ -71,7 +79,28 @@ func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, err
 		"policy":    spec.Policy,
 		"dist":      spec.Dist,
 	}
+	if rep.Critpath != nil {
+		if rates, ok := PredictRates(params, spec.Placement, spec.Alpha, spec.Beta); ok {
+			cls, rate := rates.Bottleneck()
+			rep.Critpath.SetPrediction(cls, rate)
+		}
+	}
 	return rep, res, nil
+}
+
+// PredictRates is the Pass1Model rate decomposition for a placement, or
+// ok=false when the analytic model does not cover it (hybrid migrates between
+// placements mid-run).
+func PredictRates(params cluster.Params, pl dsmsort.Placement, alpha, beta int) (loadmgr.Rates, bool) {
+	m := loadmgr.Pass1Model{Params: params}
+	switch pl {
+	case dsmsort.Active:
+		return m.ActiveRates(alpha, beta), true
+	case dsmsort.Conventional:
+		return m.ConventionalRates(alpha, beta), true
+	default:
+		return loadmgr.Rates{}, false
+	}
 }
 
 // BenchMatrix is the standard DSM-Sort benchmark: the paper's placements

@@ -2,9 +2,11 @@ package functor
 
 import (
 	"fmt"
+	"strings"
 
 	"lmas/internal/cluster"
 	"lmas/internal/container"
+	"lmas/internal/critpath"
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -38,7 +40,8 @@ type Instance struct {
 	// enqAt mirrors the inbox FIFO with each packet's enqueue instant, so
 	// run can report queue wait without touching the packet format. Edge
 	// deliver appends and run pops — the only Put/Get sites for instance
-	// inboxes — and only when the cluster has telemetry attached.
+	// inboxes — and only when the cluster has telemetry or a profiler
+	// attached.
 	enqAt []sim.Time
 
 	// Stats.
@@ -124,11 +127,14 @@ func (e *Edge) deliver(ctx *Ctx, pk container.Packet) {
 	if err := dest.In.Put(ctx.Proc, pk); err != nil {
 		panic(fmt.Sprintf("functor: deliver to closed inbox %s", dest.Label()))
 	}
-	if reg := e.to.pipeline.cl.Telemetry; reg != nil {
+	reg := e.to.pipeline.cl.Telemetry
+	if reg != nil || e.to.pipeline.cl.Profiler != nil {
 		// No other proc can run between Put returning and this append
 		// (code between blocking calls is atomic), so enqAt stays in
 		// FIFO lockstep with the inbox even with several producers.
 		dest.enqAt = append(dest.enqAt, ctx.Proc.Now())
+	}
+	if reg != nil {
 		// Sparse backlog sampling: a gauge point every 64th delivery, not
 		// a periodic sampler proc — a sampler's trailing wakeups would
 		// extend the simulated run past pipeline completion.
@@ -264,10 +270,11 @@ func (st *Stage) setOut(o output) {
 
 // source feeds a container scan into an edge from a given node.
 type source struct {
-	name string
-	node *cluster.Node
-	scan *container.Scan
-	out  output
+	name   string
+	node   *cluster.Node
+	scan   *container.Scan
+	out    output
+	outbox *sim.Queue[container.Packet] // set at Start, for queue telemetry
 }
 
 // AddSource spawns a reader on node that scans sc and routes every packet
@@ -333,31 +340,97 @@ func (p *Pipeline) Start() {
 	// Spawn. Every producer (source or instance) gets a courier that
 	// drains its outbox through the stage output, so transfers overlap
 	// with reading and computing.
+	//
+	// Backpressure blame is registered against the consuming proc as each
+	// one spawns (registration is sim-inert, so spawn order — and with it
+	// scheduling — is unchanged): a producer blocked on a full inbox, or
+	// on its own outbox which a slow delivery path keeps full, is being
+	// slowed by whatever its consumer's time is made of, so those waits
+	// are apportioned by the consumer's mix rather than parked in the
+	// residual cond-wait class. Starvation waits ("not-empty") stay
+	// unregistered on purpose: an instance idling for input is a signal
+	// about some *other* stage, which the blamed waits upstream capture.
+	pf := p.cl.Profiler
 	for i, src := range p.sources {
 		src := src
 		outbox := sim.NewQueue[container.Packet](p.cl.Sim, fmt.Sprintf("%s.out", src.name), outboxPackets)
+		src.outbox = outbox
+		stage := sourceStage(src.name)
 		p.cl.Sim.Spawn(src.name, func(proc *sim.Proc) {
+			// Sources spend disk time, not CPU, so queued packets behind
+			// them are storage-bound.
+			pf.Bind(proc, stage, src.node.Name, nodeClass(src.node), critpath.ClassDisk)
 			for {
+				// Start the chain before the read so the packet's I/O
+				// time lands on its own provenance record.
+				id := pf.StartChain(proc)
 				pk, ok := src.scan.Next(proc)
 				if !ok {
+					pf.Abandon(proc, id)
 					break
 				}
+				pk.Prov = id
 				if err := outbox.Put(proc, pk); err != nil {
 					panic(err)
 				}
+				pf.EndPacket(proc)
 			}
 			outbox.Close()
 		})
-		p.spawnCourier(fmt.Sprintf("%s.courier%d", src.name, i), src.node, outbox, src.out)
+		courier := p.spawnCourier(fmt.Sprintf("%s.courier%d", src.name, i), stage, src.node, outbox, src.out)
+		if pf != nil {
+			if e, ok := src.out.(*Edge); ok {
+				pf.BlameWaitProc(outbox.Name()+" not-full", courier, edgeBlame(e))
+			}
+		}
 	}
 	for _, st := range p.stages {
 		for _, inst := range st.instances {
 			inst := inst
 			inst.out = sim.NewQueue[container.Packet](p.cl.Sim, inst.Label()+".out", outboxPackets)
-			p.cl.Sim.Spawn(inst.Label(), func(proc *sim.Proc) { inst.run(proc) })
-			p.spawnCourier(inst.Label()+".courier", inst.Node, inst.out, st.out)
+			instProc := p.cl.Sim.Spawn(inst.Label(), func(proc *sim.Proc) { inst.run(proc) })
+			courier := p.spawnCourier(inst.Label()+".courier", st.Name, inst.Node, inst.out, st.out)
+			if pf != nil {
+				pf.BlameWaitProc(inst.In.Name()+" not-full", instProc, stageBlame(st, inst.Node))
+				if e, ok := st.out.(*Edge); ok {
+					pf.BlameWaitProc(inst.out.Name()+" not-full", courier, edgeBlame(e))
+				}
+			}
 		}
 	}
+}
+
+// sourceStage maps a source name like "read@asu3" to its waterfall stage
+// label ("read"), so per-node source rows aggregate under one stage.
+func sourceStage(name string) string {
+	if i := strings.IndexByte(name, '@'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// nodeClass is the blame class of a node's processor.
+func nodeClass(n *cluster.Node) critpath.Class {
+	if n.Kind == cluster.Host {
+		return critpath.ClassHostCPU
+	}
+	return critpath.ClassASUCPU
+}
+
+// stageBlame is the blame class for time spent waiting on an instance of st
+// placed on node n: its processor, or storage for NoCPU (pure DMA) stages.
+func stageBlame(st *Stage, n *cluster.Node) critpath.Class {
+	if st.NoCPU {
+		return critpath.ClassDisk
+	}
+	return nodeClass(n)
+}
+
+// edgeBlame is the blame class for backpressure from an edge's destination
+// stage (stages place on nodes of one kind in practice, so the first
+// placement node is representative).
+func edgeBlame(e *Edge) critpath.Class {
+	return stageBlame(e.to, e.to.Nodes[0])
 }
 
 // outboxPackets bounds each producer's send buffer.
@@ -365,17 +438,25 @@ const outboxPackets = 4
 
 // spawnCourier moves packets from outbox into out, charging transfer costs
 // on the producing node's interface; it signals producerDone when the
-// outbox closes and drains.
-func (p *Pipeline) spawnCourier(name string, node *cluster.Node, outbox *sim.Queue[container.Packet], out output) {
+// outbox closes and drains. stage is the producer's waterfall stage label:
+// courier time (network transfer, downstream backpressure) is part of the
+// producing stage's hand-off cost. Returns the courier proc so producer-side
+// outbox waits can be blamed by its mix (the courier's time is network plus
+// destination-inbox backpressure, exactly what a full outbox means).
+func (p *Pipeline) spawnCourier(name, stage string, node *cluster.Node, outbox *sim.Queue[container.Packet], out output) *sim.Proc {
 	ctx := &Ctx{Cluster: p.cl, Node: node}
-	p.cl.Sim.Spawn(name, func(proc *sim.Proc) {
+	pf := p.cl.Profiler
+	return p.cl.Sim.Spawn(name, func(proc *sim.Proc) {
 		ctx.Proc = proc
+		pf.Bind(proc, stage, node.Name, nodeClass(node), nodeClass(node))
 		for {
 			pk, ok := outbox.Get(proc)
 			if !ok {
 				break
 			}
+			pf.BeginPacket(proc, pk.Prov)
 			out.deliver(ctx, pk)
+			pf.EndPacket(proc)
 		}
 		out.producerDone(ctx)
 	})
@@ -406,7 +487,15 @@ func (in *Instance) run(proc *sim.Proc) {
 		svcH = reg.Histogram("functor."+in.Stage.Name+".service", nil)
 		latH = reg.Histogram("functor."+in.Stage.Name+".latency", nil)
 	}
+	pf := ctx.Cluster.Profiler
+	pf.Bind(proc, in.Stage.Name, in.Node.Name, nodeClass(in.Node), stageBlame(in.Stage, in.Node))
 	emit := func(pk container.Packet) {
+		if pf != nil && pk.Prov == 0 {
+			// A freshly produced packet (rather than a re-emitted input)
+			// derives its chain from the one being processed, or — for
+			// Flush-time emissions — the last one this instance handled.
+			pk.Prov = pf.Derive(proc)
+		}
 		in.PacketsOut++
 		in.RecordsOut += int64(pk.Len())
 		if err := in.out.Put(proc, pk); err != nil {
@@ -420,11 +509,14 @@ func (in *Instance) run(proc *sim.Proc) {
 		if !ok {
 			break
 		}
+		pf.BeginPacket(proc, pk.Prov)
 		var wait sim.Duration
 		if len(in.enqAt) > 0 { // in FIFO lockstep with the inbox
-			wait = sim.Duration(proc.Now() - in.enqAt[0])
+			from := in.enqAt[0]
 			in.enqAt = in.enqAt[1:]
+			wait = sim.Duration(proc.Now() - from)
 			waitH.ObserveDuration(wait)
+			pf.ChargeQueueTime(proc, from, proc.Now())
 		}
 		svcStart := proc.Now()
 		in.PacketsIn++
@@ -447,6 +539,7 @@ func (in *Instance) run(proc *sim.Proc) {
 		if traced {
 			proc.TraceEnd()
 		}
+		pf.EndPacket(proc)
 	}
 	in.kernel.Flush(ctx, emit)
 	in.out.Close() // the courier signals producerDone after draining
@@ -504,4 +597,24 @@ func (p *Pipeline) FlushTelemetry() {
 	}
 	reg.Counter("functor.sources.net_bytes").Add(srcBytes)
 	reg.Counter("functor.sources.cross_node").Add(srcCross)
+	// Per-queue wait accounting: cumulative buffered time and high-water
+	// depth for every inbox and outbox, so the report's queue table shows
+	// where packets sat.
+	now := p.cl.Sim.Now()
+	flushQueue := func(q *sim.Queue[container.Packet]) {
+		cum, high := q.WaitStats()
+		reg.Gauge("queue."+q.Name()+".wait_sec").Set(now, cum.Seconds())
+		reg.Gauge("queue."+q.Name()+".high_water").Set(now, float64(high))
+	}
+	for _, st := range p.stages {
+		for _, inst := range st.instances {
+			flushQueue(inst.In)
+			flushQueue(inst.out)
+		}
+	}
+	for _, src := range p.sources {
+		if src.outbox != nil {
+			flushQueue(src.outbox)
+		}
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"lmas/internal/cluster"
+	"lmas/internal/critpath"
 	"lmas/internal/metrics"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -35,9 +36,43 @@ func log2f(n int) float64 {
 	return math.Log2(float64(n))
 }
 
-// ActiveRate predicts records/second for the active placement: distribute
-// and collect on the ASUs, block sort on the hosts.
-func (m Pass1Model) ActiveRate(alpha, beta int) float64 {
+// Rates decomposes a placement's predicted throughput (records/second) per
+// resource: the slowest resource is the analytic bottleneck the emulation's
+// observed critical path can be checked against. A zero rate means the
+// placement does not exercise that resource class.
+type Rates struct {
+	ASUCPU  float64 `json:"asu_cpu,omitempty"`
+	HostCPU float64 `json:"host_cpu"`
+	Disk    float64 `json:"disk"`
+	Net     float64 `json:"net"`
+}
+
+// Bottleneck reports the limiting resource class and its rate: the smallest
+// nonzero rate, ties going to the earlier class in (asu-cpu, host-cpu, disk,
+// net) order.
+func (r Rates) Bottleneck() (critpath.Class, float64) {
+	best, bestRate := critpath.Class(""), math.Inf(1)
+	consider := func(c critpath.Class, rate float64) {
+		if rate > 0 && rate < bestRate {
+			best, bestRate = c, rate
+		}
+	}
+	consider(critpath.ClassASUCPU, r.ASUCPU)
+	consider(critpath.ClassHostCPU, r.HostCPU)
+	consider(critpath.ClassDisk, r.Disk)
+	consider(critpath.ClassNet, r.Net)
+	return best, bestRate
+}
+
+// Min reports the limiting rate.
+func (r Rates) Min() float64 {
+	_, rate := r.Bottleneck()
+	return rate
+}
+
+// ActiveRates decomposes the active placement's predicted throughput:
+// distribute and collect on the ASUs, block sort on the hosts.
+func (m Pass1Model) ActiveRates(alpha, beta int) Rates {
 	p := m.Params
 	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
 	touchA := p.Costs.Touch(cluster.ASU, p.RecordSize)
@@ -47,27 +82,38 @@ func (m Pass1Model) ActiveRate(alpha, beta int) float64 {
 	asuPerRec := (touchA + log2f(alpha)*p.Costs.CompareOps) + touchA
 	// Per-record host work: block sort.
 	hostPerRec := touchH + log2f(beta)*p.Costs.CompareOps
-	stages := []float64{
-		float64(p.ASUs) * asuOps / asuPerRec,
-		float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
-		m.diskRate(),
-		m.netRate(),
+	return Rates{
+		ASUCPU:  float64(p.ASUs) * asuOps / asuPerRec,
+		HostCPU: float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
+		Disk:    m.diskRate(),
+		Net:     m.netRate(),
 	}
-	return minRate(stages)
+}
+
+// ActiveRate predicts records/second for the active placement: distribute
+// and collect on the ASUs, block sort on the hosts.
+func (m Pass1Model) ActiveRate(alpha, beta int) float64 {
+	return m.ActiveRates(alpha, beta).Min()
+}
+
+// ConventionalRates decomposes the baseline placement's predicted
+// throughput: everything fused on the hosts, dumb storage streaming raw
+// blocks (no ASU CPU component).
+func (m Pass1Model) ConventionalRates(alpha, beta int) Rates {
+	p := m.Params
+	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
+	hostPerRec := touchH + (log2f(alpha)+log2f(beta))*p.Costs.CompareOps
+	return Rates{
+		HostCPU: float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
+		Disk:    m.diskRate(),
+		Net:     m.netRate(),
+	}
 }
 
 // ConventionalRate predicts records/second for the baseline placement:
 // everything fused on the hosts, dumb storage streaming raw blocks.
 func (m Pass1Model) ConventionalRate(alpha, beta int) float64 {
-	p := m.Params
-	touchH := p.Costs.Touch(cluster.Host, p.RecordSize)
-	hostPerRec := touchH + (log2f(alpha)+log2f(beta))*p.Costs.CompareOps
-	stages := []float64{
-		float64(p.Hosts) * p.HostOpsPerSec / hostPerRec,
-		m.diskRate(),
-		m.netRate(),
-	}
-	return minRate(stages)
+	return m.ConventionalRates(alpha, beta).Min()
 }
 
 // diskRate is the aggregate storage streaming rate in records/second; the
@@ -87,16 +133,6 @@ func (m Pass1Model) netRate() float64 {
 // PredictSpeedup is the predicted Figure 9 value for one configuration.
 func (m Pass1Model) PredictSpeedup(alpha, beta int) float64 {
 	return m.ActiveRate(alpha, beta) / m.ConventionalRate(alpha, beta)
-}
-
-func minRate(rates []float64) float64 {
-	min := rates[0]
-	for _, r := range rates[1:] {
-		if r < min {
-			min = r
-		}
-	}
-	return min
 }
 
 // ChooseAlpha picks the candidate distribute order with the best predicted
@@ -168,6 +204,44 @@ func Imbalance(traces []*metrics.UtilTrace, n int) float64 {
 		lo, hi := math.Inf(1), math.Inf(-1)
 		for _, tr := range traces {
 			u := tr.At(w)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		total += hi - lo
+	}
+	return total / float64(n)
+}
+
+// ImbalanceSeries is Imbalance over already-serialized utilization series
+// (one windowed utilization slice per node, as stored in a RunReport), so
+// report viewers can recompute load skew without the live traces. Series
+// shorter than the comparison horizon read as idle (utilization 0).
+func ImbalanceSeries(series [][]float64, n int) float64 {
+	if len(series) < 2 {
+		return 0
+	}
+	if n <= 0 {
+		for _, s := range series {
+			if len(s) > n {
+				n = len(s)
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for w := 0; w < n; w++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			u := 0.0
+			if w < len(s) {
+				u = s[w]
+			}
 			if u < lo {
 				lo = u
 			}

@@ -160,6 +160,9 @@ func (n *Net) transfer(p *sim.Proc, src, dst *Iface, size int, withLatency bool)
 		deliver = deliver.Add(n.latency)
 	}
 	if deliver > now {
+		if pf := n.s.Profiler(); pf != nil {
+			pf.Charge(p, sim.ChargeNet, src.name, now, deliver)
+		}
 		p.Sleep(sim.Duration(deliver - now))
 	}
 }

@@ -28,6 +28,12 @@ func (c *Cond) purge(p *Proc) { c.waiters = removeProc(c.waiters, p) }
 // Wait parks p until another proc or event calls Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
+	if pf := c.sim.profiler; pf != nil {
+		from := c.sim.now
+		p.park(c.waitWhat)
+		pf.Charge(p, ChargeCondWait, c.what, from, c.sim.now)
+		return
+	}
 	p.park(c.waitWhat)
 }
 

@@ -26,6 +26,13 @@ type Queue[T any] struct {
 
 	// stats
 	puts, gets uint64
+	// enqT mirrors buf with each element's enqueue instant, so take can
+	// accumulate the time elements spend buffered.
+	enqT []Time
+	// cumWait is the total buffered time summed over all dequeued elements.
+	cumWait Duration
+	// highWater is the maximum depth the queue ever reached.
+	highWater int
 
 	track trace.Track // cached trace timeline for depth counters
 }
@@ -40,6 +47,7 @@ func NewQueue[T any](s *Sim, name string, capacity int) *Queue[T] {
 		sim:      s,
 		name:     name,
 		buf:      make([]T, capacity),
+		enqT:     make([]Time, capacity),
 		notEmpty: NewCond(s, name+" not-empty"),
 		notFull:  NewCond(s, name+" not-full"),
 	}
@@ -82,8 +90,13 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 	if q.closed {
 		return ErrClosed
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	slot := (q.head + q.n) % len(q.buf)
+	q.buf[slot] = v
+	q.enqT[slot] = q.sim.now
 	q.n++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
 	q.puts++
 	q.traceDepth()
 	q.notEmpty.Signal()
@@ -95,8 +108,13 @@ func (q *Queue[T]) TryPut(v T) bool {
 	if q.closed || q.n == len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	slot := (q.head + q.n) % len(q.buf)
+	q.buf[slot] = v
+	q.enqT[slot] = q.sim.now
 	q.n++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
 	q.puts++
 	q.traceDepth()
 	q.notEmpty.Signal()
@@ -127,12 +145,20 @@ func (q *Queue[T]) take() T {
 	var zero T
 	v := q.buf[q.head]
 	q.buf[q.head] = zero
+	q.cumWait += Duration(q.sim.now - q.enqT[q.head])
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	q.gets++
 	q.traceDepth()
 	q.notFull.Signal()
 	return v
+}
+
+// WaitStats reports the cumulative time dequeued elements spent buffered and
+// the maximum depth the queue ever reached. Elements still buffered are not
+// counted in cumWait until they are taken.
+func (q *Queue[T]) WaitStats() (cumWait Duration, highWater int) {
+	return q.cumWait, q.highWater
 }
 
 // Close marks the queue closed: pending and future Puts fail with ErrClosed,

@@ -78,7 +78,13 @@ func (r *Resource) acquire(p *Proc, high bool) {
 	} else {
 		r.low = append(r.low, p)
 	}
-	p.park("acquire " + r.name)
+	if pf := r.sim.profiler; pf != nil {
+		from := r.sim.now
+		p.park("acquire " + r.name)
+		pf.Charge(p, ChargeQueueWait, r.name, from, r.sim.now)
+	} else {
+		p.park("acquire " + r.name)
+	}
 	// Ownership was transferred to us by Release before the wakeup.
 	if r.owner != p {
 		panic("sim: woke without ownership of " + r.name)

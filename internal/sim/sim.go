@@ -62,6 +62,10 @@ type Sim struct {
 	// from device models built on it. Untraced runs pay one nil check.
 	tracer *trace.Sink
 
+	// profiler, when non-nil, receives latency-attribution charges from
+	// the kernel and device models. Unprofiled runs pay one nil check.
+	profiler Profiler
+
 	// waitLists holds every wait-list owner (resources, conds) created on
 	// this sim, so killProcs can purge killed procs from their queues.
 	waitLists []purger

@@ -1,0 +1,27 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"lmas/internal/bufpool"
+	"lmas/internal/sim"
+)
+
+// FillBufpoolGauges records a buffer-pool health snapshot as gauges, one
+// quartet per active size class: bufpool.<size>.{gets,hits,in_use,high_water}.
+// Call it once at the end of a SINGLE run only — the default pool is process
+// global, so snapshots taken while parallel sweeps share the pool would fold
+// unrelated runs' traffic into the report and break determinism. Safe on a
+// nil registry.
+func (r *Registry) FillBufpoolGauges(now sim.Time, stats []bufpool.ClassStats) {
+	if r == nil {
+		return
+	}
+	for _, cs := range stats {
+		prefix := fmt.Sprintf("bufpool.%d.", cs.Size)
+		r.Gauge(prefix+"gets").Set(now, float64(cs.Gets))
+		r.Gauge(prefix+"hits").Set(now, float64(cs.Hits))
+		r.Gauge(prefix+"in_use").Set(now, float64(cs.InUse))
+		r.Gauge(prefix+"high_water").Set(now, float64(cs.HighWater))
+	}
+}

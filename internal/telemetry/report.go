@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"lmas/internal/critpath"
 	"lmas/internal/metrics"
 	"lmas/internal/sim"
 )
@@ -116,6 +117,9 @@ type RunReport struct {
 	Gauges     []GaugeReport     `json:"gauges,omitempty"`
 	Histograms []HistogramReport `json:"histograms,omitempty"`
 	Decisions  []Decision        `json:"decisions,omitempty"`
+	// Critpath is the latency-attribution summary, present when a
+	// critical-path profiler was attached for the run.
+	Critpath *critpath.Report `json:"critpath,omitempty"`
 }
 
 // Trajectory is a multi-run bench file: one point on the performance
