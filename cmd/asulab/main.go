@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"lmas/internal/cluster"
@@ -31,11 +32,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	// Global flags precede the subcommand (asulab -engine parallel fig10 ...)
+	// and apply to every cluster any subcommand builds, via the env fallbacks
+	// cluster.Params.EngineSpec consults. Engine choice never changes
+	// results — only wall clock.
+	global := flag.NewFlagSet("asulab", flag.ExitOnError)
+	global.Usage = usage
+	engine := global.String("engine", "", "sim engine for all subcommands: serial|parallel (results identical; equivalent to LMAS_SIM_ENGINE)")
+	workers := global.Int("workers", 0, "parallel-engine worker goroutines (0 = one per CPU; equivalent to LMAS_SIM_WORKERS)")
+	global.Parse(os.Args[1:]) // stops at the first non-flag: the subcommand
+	if *engine != "" {
+		os.Setenv("LMAS_SIM_ENGINE", *engine)
+	}
+	if *workers != 0 {
+		os.Setenv("LMAS_SIM_WORKERS", strconv.Itoa(*workers))
+	}
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
 	var err error
 	switch cmd {
 	case "fig9":

@@ -44,6 +44,8 @@ func main() {
 		report    = flag.String("report", "", "write a machine-readable RunReport (JSON) of the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		engine    = flag.String("engine", "", "sim engine: serial|parallel (default serial; results are identical, parallel only changes wall clock)")
+		workers   = flag.Int("workers", 0, "parallel-engine worker goroutines (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -55,8 +57,12 @@ func main() {
 
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = *hosts, *asus, *c
+	params.Engine, params.EngineWorkers = *engine, *workers
 	if *netMBps > 0 {
 		params.NetBandwidth = *netMBps * 1e6
+	}
+	if err := params.Validate(); err != nil {
+		fail(err)
 	}
 	cl := cluster.New(params)
 

@@ -21,6 +21,8 @@ func runBench(args []string) error {
 		"stamp the trajectory with wall-clock time; disable for byte-reproducible baselines")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file")
+	engine := fs.String("engine", "", "sim engine for every cell: serial|parallel (output is byte-identical either way)")
+	workers := fs.Int("workers", 0, "parallel-engine worker goroutines (0 = one per CPU)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected argument %q", fs.Arg(0))
@@ -36,7 +38,7 @@ func runBench(args []string) error {
 	}
 	defer stopProf()
 
-	tr, err := experiments.RunBench(*quick, *seed, *jobs, func(spec experiments.SortRunSpec) {
+	tr, err := experiments.RunBenchEngine(*quick, *seed, *jobs, *engine, *workers, func(spec experiments.SortRunSpec) {
 		fmt.Printf("bench: %-28s n=%d hosts=%d asus=%d policy=%s dist=%s\n",
 			spec.Name, spec.N, spec.Hosts, spec.ASUs, spec.Policy, spec.Dist)
 	})

@@ -13,6 +13,8 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"lmas/internal/critpath"
 	"lmas/internal/disk"
@@ -129,6 +131,36 @@ type Params struct {
 	// applications. Zero disables isolation: functor work holds the CPU
 	// for its full duration.
 	IsolationQuantum sim.Duration
+
+	// Engine selects the simulator's event-loop engine: "serial" or
+	// "parallel". Empty consults the LMAS_SIM_ENGINE environment variable
+	// and then defaults to serial. The choice never changes results —
+	// both engines are byte-identical — only wall-clock behaviour, so it
+	// deliberately stays out of RunReports.
+	Engine string
+	// EngineWorkers sets the parallel engine's worker-goroutine count;
+	// 0 consults LMAS_SIM_WORKERS and then defaults to one per CPU.
+	EngineWorkers int
+}
+
+// EngineSpec resolves the engine selection, applying the environment
+// fallbacks described on Params.Engine.
+func (p Params) EngineSpec() (sim.EngineSpec, error) {
+	name := p.Engine
+	if name == "" {
+		name = os.Getenv("LMAS_SIM_ENGINE")
+	}
+	workers := p.EngineWorkers
+	if workers == 0 {
+		if v := os.Getenv("LMAS_SIM_WORKERS"); v != "" {
+			w, err := strconv.Atoi(v)
+			if err != nil {
+				return sim.EngineSpec{}, fmt.Errorf("cluster: bad LMAS_SIM_WORKERS %q: %w", v, err)
+			}
+			workers = w
+		}
+	}
+	return sim.ParseEngineSpec(name, workers)
 }
 
 // DefaultParams returns the baseline configuration used throughout the
@@ -170,6 +202,9 @@ func (p Params) Validate() error {
 	case p.HostMemRecords < 1 || p.ASUMemRecords < 1:
 		return fmt.Errorf("cluster: memory bounds must be positive")
 	}
+	if _, err := p.EngineSpec(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -178,6 +213,11 @@ type Node struct {
 	Name  string
 	Kind  NodeKind
 	Index int
+
+	// Part is the node's event-ordering partition in the simulator: procs
+	// pinned to this node (sim.SpawnOn) break same-instant ties by
+	// (partition, per-node seq), the engine-independent key.
+	Part int
 
 	CPU       *sim.Resource
 	OpsPerSec float64
@@ -276,7 +316,16 @@ func New(p Params) *Cluster {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	s := sim.New()
+	spec, err := p.EngineSpec()
+	if err != nil {
+		panic(err) // Validate caught syntax; this is unreachable
+	}
+	s := sim.NewWithEngine(spec)
+	// The network latency is the conservative lookahead: an offloaded
+	// closure's results cannot re-enter another node's timeline sooner
+	// than one message latency, so the parallel engine joins workers at
+	// windows of this width.
+	s.SetLookahead(p.NetLatency)
 	c := &Cluster{Params: p, Sim: s, Net: netsim.New(s, p.NetLatency)}
 	for i := 0; i < p.Hosts; i++ {
 		name := fmt.Sprintf("host%d", i)
@@ -284,6 +333,7 @@ func New(p Params) *Cluster {
 			Name:      name,
 			Kind:      Host,
 			Index:     i,
+			Part:      s.AddPartition(),
 			CPU:       sim.NewResource(s, name+".cpu"),
 			OpsPerSec: p.HostOpsPerSec,
 			NIC:       netsim.NewIface(s, name+".nic", p.NetBandwidth),
@@ -299,6 +349,7 @@ func New(p Params) *Cluster {
 			Name:      name,
 			Kind:      ASU,
 			Index:     i,
+			Part:      s.AddPartition(),
 			CPU:       sim.NewResource(s, name+".cpu"),
 			OpsPerSec: p.HostOpsPerSec / p.C,
 			Disk:      newDisk(s, name+".disk", p),

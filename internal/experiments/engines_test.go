@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+// engineVariants are the parallel-engine configurations the differential
+// harness compares against the serial reference: the worker counts the
+// byte-identity guarantee is pinned at.
+var engineVariants = []struct {
+	name    string
+	workers int
+}{
+	{"parallel-1", 1},
+	{"parallel-2", 2},
+	{"parallel-8", 8},
+}
+
+// mustJSON marshals an experiment result for byte comparison. Callers zero
+// the result's Options field first: it embeds cluster.Params, whose Engine
+// fields legitimately differ between variants — everything else must not.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFig10ByteIdenticalAcrossEngines: the full Figure-10 comparison —
+// traced runs, utilization series, imbalance metrics, complete RunReports —
+// must serialize to identical bytes on the serial engine and the parallel
+// engine at 1, 2, and 8 workers.
+func TestFig10ByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := DefaultFig10Options()
+	opt.N = 1 << 16
+	opt.Window = 25 * sim.Millisecond
+	run := func(engine string, workers int) string {
+		o := opt
+		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		res, err := RunFig10(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Options = Fig10Options{}
+		return mustJSON(t, res)
+	}
+	ref := run("serial", 0)
+	for _, v := range engineVariants {
+		if got := run("parallel", v.workers); got != ref {
+			t.Fatalf("%s: Fig10 result bytes diverge from serial", v.name)
+		}
+	}
+}
+
+// TestIsolationByteIdenticalAcrossEngines covers the isolation sweep: the
+// foreground-latency percentiles and co-scheduled sort timings must not
+// move across engines or worker counts.
+func TestIsolationByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := DefaultIsolationOptions()
+	opt.N = 1 << 15
+	run := func(engine string, workers int) string {
+		o := opt
+		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		res, err := RunIsolation(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Options = IsolationOptions{}
+		return mustJSON(t, res)
+	}
+	ref := run("serial", 0)
+	for _, v := range engineVariants {
+		if got := run("parallel", v.workers); got != ref {
+			t.Fatalf("%s: isolation result bytes diverge from serial", v.name)
+		}
+	}
+}
+
+// TestAdaptByteIdenticalAcrossEngines covers mid-run adaptation: trigger
+// instants and the load-manager decision log are schedule-sensitive, so
+// byte identity here exercises the tie-break key hardest.
+func TestAdaptByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := DefaultAdaptOptions()
+	opt.N = 1 << 14
+	run := func(engine string, workers int) string {
+		o := opt
+		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		res, err := RunAdapt(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Options = AdaptOptions{}
+		return mustJSON(t, res)
+	}
+	ref := run("serial", 0)
+	for _, v := range engineVariants {
+		if got := run("parallel", v.workers); got != ref {
+			t.Fatalf("%s: adaptation result bytes diverge from serial", v.name)
+		}
+	}
+}
+
+// TestBenchTrajectoryByteIdenticalAcrossEngines is the CI gate from the
+// issue: the quick DSM-Sort bench matrix must produce byte-identical
+// trajectories for every engine and worker count — the same document the
+// bench regression gate diffs against bench/baseline.json.
+func TestBenchTrajectoryByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(engine string, workers int) string {
+		tr, err := RunBenchEngine(true, 42, 0, engine, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustJSON(t, tr)
+	}
+	ref := run("serial", 0)
+	for _, v := range engineVariants {
+		if got := run("parallel", v.workers); got != ref {
+			t.Fatalf("%s: bench trajectory bytes diverge from serial", v.name)
+		}
+	}
+}

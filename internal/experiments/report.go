@@ -31,6 +31,11 @@ type SortRunSpec struct {
 	// Critpath attaches the critical-path profiler and adds a latency
 	// attribution section (with the Pass1Model prediction) to the report.
 	Critpath bool
+	// Engine/EngineWorkers select the sim event-loop engine (see
+	// cluster.Params). The choice never changes the report's bytes, so it
+	// is deliberately absent from the Workload map.
+	Engine        string
+	EngineWorkers int
 }
 
 // RunSortReport executes spec with telemetry attached and returns the run
@@ -40,6 +45,10 @@ type SortRunSpec struct {
 func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, error) {
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = spec.Hosts, spec.ASUs, spec.C
+	params.Engine, params.EngineWorkers = spec.Engine, spec.EngineWorkers
+	if err := params.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	cl := cluster.New(params)
 	cl.AttachTelemetry(telemetry.NewRegistry(), spec.UtilWindow)
 	if spec.Critpath {
@@ -151,8 +160,20 @@ func BenchMatrix(quick bool, seed int64) []SortRunSpec {
 // GeneratedAt (wall-clock time stays out of this package so runs are
 // reproducible byte for byte).
 func RunBench(quick bool, seed int64, jobs int, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
+	return RunBenchEngine(quick, seed, jobs, "", 0, progress)
+}
+
+// RunBenchEngine is RunBench with every cell running on the named sim engine
+// (see sim.ParseEngineSpec; "" = serial). Engine choice only affects wall
+// clock — the trajectory bytes are identical for every engine and worker
+// count, which is exactly what the differential tests pin.
+func RunBenchEngine(quick bool, seed int64, jobs int, engine string, workers int, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
 	tr := &telemetry.Trajectory{Schema: telemetry.TrajectorySchema, Quick: quick}
 	specs := BenchMatrix(quick, seed)
+	for i := range specs {
+		specs[i].Engine = engine
+		specs[i].EngineWorkers = workers
+	}
 	if progress != nil {
 		for _, spec := range specs {
 			progress(spec)

@@ -356,7 +356,7 @@ func (p *Pipeline) Start() {
 		outbox := sim.NewQueue[container.Packet](p.cl.Sim, fmt.Sprintf("%s.out", src.name), outboxPackets)
 		src.outbox = outbox
 		stage := sourceStage(src.name)
-		p.cl.Sim.Spawn(src.name, func(proc *sim.Proc) {
+		p.cl.Sim.SpawnOn(src.node.Part, src.name, func(proc *sim.Proc) {
 			// Sources spend disk time, not CPU, so queued packets behind
 			// them are storage-bound.
 			pf.Bind(proc, stage, src.node.Name, nodeClass(src.node), critpath.ClassDisk)
@@ -388,7 +388,7 @@ func (p *Pipeline) Start() {
 		for _, inst := range st.instances {
 			inst := inst
 			inst.out = sim.NewQueue[container.Packet](p.cl.Sim, inst.Label()+".out", outboxPackets)
-			instProc := p.cl.Sim.Spawn(inst.Label(), func(proc *sim.Proc) { inst.run(proc) })
+			instProc := p.cl.Sim.SpawnOn(inst.Node.Part, inst.Label(), func(proc *sim.Proc) { inst.run(proc) })
 			courier := p.spawnCourier(inst.Label()+".courier", st.Name, inst.Node, inst.out, st.out)
 			if pf != nil {
 				pf.BlameWaitProc(inst.In.Name()+" not-full", instProc, stageBlame(st, inst.Node))
@@ -446,7 +446,7 @@ const outboxPackets = 4
 func (p *Pipeline) spawnCourier(name, stage string, node *cluster.Node, outbox *sim.Queue[container.Packet], out output) *sim.Proc {
 	ctx := &Ctx{Cluster: p.cl, Node: node}
 	pf := p.cl.Profiler
-	return p.cl.Sim.Spawn(name, func(proc *sim.Proc) {
+	return p.cl.Sim.SpawnOn(node.Part, name, func(proc *sim.Proc) {
 		ctx.Proc = proc
 		pf.Bind(proc, stage, node.Name, nodeClass(node), nodeClass(node))
 		for {
@@ -489,6 +489,11 @@ func (in *Instance) run(proc *sim.Proc) {
 	}
 	pf := ctx.Cluster.Profiler
 	pf.Bind(proc, in.Stage.Name, in.Node.Name, nodeClass(in.Node), stageBlame(in.Stage, in.Node))
+	// Kernels that implement AsyncKernel run the staged path under every
+	// engine: the serial engine executes the compute closure inline, the
+	// parallel engine overlaps it with the virtual Compute charge on a
+	// worker goroutine. Same path, same observable behaviour.
+	async, _ := in.kernel.(AsyncKernel)
 	emit := func(pk container.Packet) {
 		if pf != nil && pk.Prov == 0 {
 			// A freshly produced packet (rather than a re-emitted input)
@@ -527,12 +532,31 @@ func (in *Instance) run(proc *sim.Proc) {
 		if traced {
 			proc.TraceBegin("packet", "functor", trace.Arg{Key: "records", Val: pk.Len()})
 		}
-		if !in.Stage.NoCPU {
-			ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
-			in.OpsCharged += ops
-			in.Node.Compute(proc, ops)
+		if async != nil {
+			// Stage captures the pure compute before the virtual charge so
+			// the engine can run it concurrently with other procs' events
+			// inside the lookahead window; Wait joins it (wall clock only)
+			// before commit emits.
+			compute, commit := async.Stage(ctx, pk)
+			var job *sim.Job
+			if compute != nil {
+				job = proc.Go(compute)
+			}
+			if !in.Stage.NoCPU {
+				ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
+				in.OpsCharged += ops
+				in.Node.Compute(proc, ops)
+			}
+			job.Wait()
+			commit(emit)
+		} else {
+			if !in.Stage.NoCPU {
+				ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
+				in.OpsCharged += ops
+				in.Node.Compute(proc, ops)
+			}
+			in.kernel.Process(ctx, pk, emit)
 		}
-		in.kernel.Process(ctx, pk, emit)
 		svc := sim.Duration(proc.Now() - svcStart)
 		svcH.ObserveDuration(svc)
 		latH.ObserveDuration(wait + svc)

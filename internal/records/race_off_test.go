@@ -1,0 +1,7 @@
+//go:build !race
+
+package records
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// regression tests skip under -race because instrumentation inflates counts.
+const raceEnabled = false

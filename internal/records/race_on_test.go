@@ -1,0 +1,5 @@
+//go:build race
+
+package records
+
+const raceEnabled = true

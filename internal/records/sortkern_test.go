@@ -135,6 +135,9 @@ func TestRadixNonDefaultRecordSizes(t *testing.T) {
 // the radix kernel's pooled scratch and the death of the old per-Swap
 // temporary slice.
 func TestSortAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
 	buf := Generate(4096, DefaultSize, 3, Uniform{})
 	small := Generate(radixMinLen/2, DefaultSize, 4, Uniform{})
 	buf.Sort() // warm the pool

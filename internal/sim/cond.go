@@ -3,15 +3,27 @@ package sim
 // Cond is a condition variable for procs. As in the paper's emulator,
 // waiters conceptually post a wakeup event at t = Forever; Signal moves one
 // waiter's wakeup to the present. There is no associated mutex because the
-// simulation is single-threaded: state inspected before Wait cannot change
-// until the proc parks. As with sync.Cond, callers should re-check their
-// predicate in a loop around Wait, because other procs may run between the
-// signal and the wakeup.
+// simulation's event spine is single-threaded: state inspected before Wait
+// cannot change until the proc parks. As with sync.Cond, callers should
+// re-check their predicate in a loop around Wait, because other procs may
+// run between the signal and the wakeup.
 type Cond struct {
 	sim      *Sim
-	waiters  []*Proc
+	waiters  []condWaiter
 	what     string
 	waitWhat string // "wait: " + what, precomputed so Wait is allocation-free
+}
+
+// condWaiter tags a parked proc with the deterministic tie-break key
+// (partition, per-partition seq) assigned when it began waiting. Signal
+// wakes the minimum key, so wake order is a pure function of the schedule
+// history — not of slice insertion order, which purge mutates when procs
+// are killed mid-wait. For unpinned sims (every proc in partition 0) the
+// minimum key is always the oldest waiter, i.e. exactly the old FIFO order.
+type condWaiter struct {
+	p    *Proc
+	part int32
+	seq  uint64
 }
 
 // NewCond creates a condition variable. what describes the awaited condition
@@ -23,34 +35,57 @@ func NewCond(s *Sim, what string) *Cond {
 }
 
 // purge removes a killed proc from the wait list; see Sim.killProcs.
-func (c *Cond) purge(p *Proc) { c.waiters = removeProc(c.waiters, p) }
+func (c *Cond) purge(p *Proc) {
+	out := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.p != p {
+			out = append(out, w)
+		}
+	}
+	// Clear the tail so the backing array doesn't pin the removed proc.
+	for i := len(out); i < len(c.waiters); i++ {
+		c.waiters[i] = condWaiter{}
+	}
+	c.waiters = out
+}
 
 // Wait parks p until another proc or event calls Signal or Broadcast.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
-	if pf := c.sim.profiler; pf != nil {
-		from := c.sim.now
+	s := c.sim
+	s.seqs[p.part]++
+	c.waiters = append(c.waiters, condWaiter{p: p, part: p.part, seq: s.seqs[p.part]})
+	if pf := s.profiler; pf != nil {
+		from := s.now
 		p.park(c.waitWhat)
-		pf.Charge(p, ChargeCondWait, c.what, from, c.sim.now)
+		pf.Charge(p, ChargeCondWait, c.what, from, s.now)
 		return
 	}
 	p.park(c.waitWhat)
 }
 
-// Signal wakes the longest-waiting proc, if any. The wakeup is delivered as
-// an event at the current time, so the caller continues first.
+// Signal wakes the waiter with the minimum (partition, seq) key, if any.
+// The wakeup is delivered as an event at the current time, so the caller
+// continues first.
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
+	min := 0
+	for i := 1; i < len(c.waiters); i++ {
+		w, m := c.waiters[i], c.waiters[min]
+		if w.part < m.part || (w.part == m.part && w.seq < m.seq) {
+			min = i
+		}
+	}
+	p := c.waiters[min].p
 	// Shift rather than re-slice so the backing array doesn't pin procs.
-	copy(c.waiters, c.waiters[1:])
+	copy(c.waiters[min:], c.waiters[min+1:])
+	c.waiters[len(c.waiters)-1] = condWaiter{}
 	c.waiters = c.waiters[:len(c.waiters)-1]
 	c.sim.resumeAt(c.sim.now, p)
 }
 
-// Broadcast wakes all waiting procs in FIFO order.
+// Broadcast wakes all waiting procs in key order.
 func (c *Cond) Broadcast() {
 	for len(c.waiters) > 0 {
 		c.Signal()

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// EngineKind selects one of the two event-loop engines.
+type EngineKind int
+
+const (
+	// EngineSerial is the classic single-threaded event loop: one
+	// goroutine at a time, events dispatched strictly in key order.
+	EngineSerial EngineKind = iota
+	// EngineParallel keeps the same deterministic event-dispatch spine but
+	// offloads side-effect-free compute closures (Proc.Go) to a pool of
+	// worker goroutines, joining them at conservative windowed barriers
+	// whose width is the cluster's network latency (the lookahead).
+	EngineParallel
+)
+
+func (k EngineKind) String() string {
+	if k == EngineParallel {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// EngineSpec names an engine and its worker count. The zero value is the
+// serial engine.
+type EngineSpec struct {
+	Kind EngineKind
+	// Workers is the parallel engine's worker-goroutine count; <= 0 means
+	// one per CPU (GOMAXPROCS). Ignored by the serial engine.
+	Workers int
+}
+
+// ParseEngineSpec resolves an engine name ("", "serial", or "parallel") and
+// worker count into a spec. The empty name means serial.
+func ParseEngineSpec(name string, workers int) (EngineSpec, error) {
+	switch name {
+	case "", "serial":
+		return EngineSpec{Kind: EngineSerial}, nil
+	case "parallel":
+		return EngineSpec{Kind: EngineParallel, Workers: workers}, nil
+	}
+	return EngineSpec{}, fmt.Errorf("sim: unknown engine %q (want serial or parallel)", name)
+}
+
+// Engine is a pluggable event-loop strategy. Both implementations dispatch
+// events through the identical deterministic spine ordered by the
+// (time, partition, per-partition seq) key, so every observable result —
+// virtual timings, reports, traces, critpath attributions — is byte-identical
+// across engines and worker counts. They differ only in where offloaded
+// compute closures (Proc.Go) execute: inline for serial, on real worker
+// goroutines for parallel.
+type Engine interface {
+	// Kind reports which engine this is.
+	Kind() EngineKind
+	// Workers reports the wall-clock worker count (1 for serial).
+	Workers() int
+
+	// offload runs a side-effect-free closure on behalf of a proc pinned
+	// to part; the returned Job's Wait blocks (wall clock only) until the
+	// closure has finished.
+	offload(part int32, fn func()) *Job
+	// drain joins every outstanding offloaded closure and releases any
+	// worker goroutines; the run loop calls it when the event queue
+	// empties and on Shutdown.
+	drain()
+}
+
+// Job is a handle to an offloaded compute closure (see Proc.Go). The zero
+// value is a completed job.
+type Job struct {
+	// done is closed by the worker when the closure returns; nil for
+	// closures that ran inline (serial engine).
+	done chan struct{}
+}
+
+// Wait blocks the calling goroutine until the job's closure has finished.
+// Waiting consumes no virtual time: it is a wall-clock join, invisible to
+// the simulation. The caller must Wait before reading anything the closure
+// wrote (the join is the happens-before edge).
+func (j *Job) Wait() {
+	if j != nil && j.done != nil {
+		<-j.done
+	}
+}
+
+// Go offloads fn to the sim's engine on behalf of p and returns a handle to
+// join it. fn must be a pure computation over memory the caller owns
+// exclusively between Go and Wait: it must not touch the simulator, procs,
+// queues, resources, telemetry, tracing, or the shared buffer pool (whose
+// gauges are part of deterministic reports). Under the serial engine fn runs
+// inline; under the parallel engine it runs on a worker goroutine, off the
+// simulation's critical path. Either way the simulation's virtual-time
+// behaviour is identical.
+func (p *Proc) Go(fn func()) *Job {
+	return p.sim.engine.offload(p.part, fn)
+}
+
+// serialEngine runs offloaded closures inline: Go executes fn on the spot
+// and Wait is a no-op. This is the reference implementation the parallel
+// engine must be byte-identical to.
+type serialEngine struct{}
+
+// completedJob is the shared handle for inline-executed closures; Wait on it
+// is a no-op, so one sentinel serves every serial offload allocation-free.
+var completedJob = &Job{}
+
+func (serialEngine) Kind() EngineKind { return EngineSerial }
+
+func (serialEngine) Workers() int { return 1 }
+
+func (serialEngine) offload(part int32, fn func()) *Job {
+	fn()
+	return completedJob
+}
+
+func (serialEngine) drain() {}
+
+// NewWithEngine creates an empty simulation at time zero using the given
+// engine. New(...) is equivalent to NewWithEngine(EngineSpec{}).
+func NewWithEngine(spec EngineSpec) *Sim {
+	s := &Sim{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]bool),
+		// Partition 0 (the global/unpinned partition) always exists.
+		seqs:      make([]uint64, 1),
+		nowqs:     make([]nowRing, 1),
+		nowActive: make([]uint64, 1),
+	}
+	if spec.Kind == EngineParallel {
+		w := spec.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		p := &parallelEngine{sim: s, workers: w}
+		s.engine = p
+		s.par = p
+	} else {
+		s.engine = serialEngine{}
+	}
+	return s
+}
+
+// Engine returns the sim's event-loop engine.
+func (s *Sim) Engine() Engine { return s.engine }
+
+// SetLookahead sets the conservative window width used by the parallel
+// engine's barriers: every offloaded closure is joined before virtual time
+// advances more than d past its issue. Clusters set this to the network
+// latency. Zero (the default) means closures may stay outstanding until
+// their Job is waited on or the event queue drains.
+func (s *Sim) SetLookahead(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.lookahead = d
+}
+
+// AddPartition allocates a new event-ordering partition and returns its id.
+// Partitions are the deterministic tie-break domains of the event key
+// (time, partition, per-partition seq): clusters allocate one per node and
+// pin each node's procs to it with SpawnOn, which makes same-instant
+// ordering independent of global scheduling history — the property that
+// lets the serial and parallel engines (at any worker count) produce
+// byte-identical results. Partition 0 is the global partition for unpinned
+// work and always exists.
+func (s *Sim) AddPartition() int {
+	id := len(s.seqs)
+	s.seqs = append(s.seqs, 0)
+	s.nowqs = append(s.nowqs, nowRing{})
+	if id>>6 >= len(s.nowActive) {
+		s.nowActive = append(s.nowActive, 0)
+	}
+	return id
+}
+
+// Partitions reports the number of allocated partitions (at least 1).
+func (s *Sim) Partitions() int { return len(s.seqs) }
+
+// Partition reports the partition p is pinned to (0 = global).
+func (p *Proc) Partition() int { return int(p.part) }

@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lmas/internal/trace"
+)
+
+func TestParseEngineSpec(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		want    EngineSpec
+		wantErr bool
+	}{
+		{"", 0, EngineSpec{Kind: EngineSerial}, false},
+		{"serial", 3, EngineSpec{Kind: EngineSerial}, false},
+		{"parallel", 0, EngineSpec{Kind: EngineParallel}, false},
+		{"parallel", 8, EngineSpec{Kind: EngineParallel, Workers: 8}, false},
+		{"turbo", 0, EngineSpec{}, true},
+	} {
+		got, err := ParseEngineSpec(tc.name, tc.workers)
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("ParseEngineSpec(%q): err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParseEngineSpec(%q, %d) = %+v, want %+v", tc.name, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// engineSpecs are the configurations every cross-engine test sweeps: the
+// serial reference and the parallel engine at the worker counts the issue
+// pins (1, 2, 8).
+var engineSpecs = []EngineSpec{
+	{Kind: EngineSerial},
+	{Kind: EngineParallel, Workers: 1},
+	{Kind: EngineParallel, Workers: 2},
+	{Kind: EngineParallel, Workers: 8},
+}
+
+func specLabel(spec EngineSpec) string {
+	if spec.Kind == EngineSerial {
+		return "serial"
+	}
+	return fmt.Sprintf("parallel-%d", spec.Workers)
+}
+
+// TestGoWaitBothEngines: an offloaded closure's writes are visible after
+// Wait, Wait consumes no virtual time, and the engine reports its kind.
+func TestGoWaitBothEngines(t *testing.T) {
+	for _, spec := range engineSpecs {
+		t.Run(specLabel(spec), func(t *testing.T) {
+			s := NewWithEngine(spec)
+			if got := s.Engine().Kind(); got != spec.Kind {
+				t.Fatalf("Engine().Kind() = %v, want %v", got, spec.Kind)
+			}
+			var result int
+			s.Spawn("p", func(p *Proc) {
+				job := p.Go(func() { result = 41 + 1 })
+				before := p.Now()
+				job.Wait()
+				if Duration(p.Now()-before) != 0 {
+					t.Error("Wait consumed virtual time")
+				}
+				if result != 42 {
+					t.Errorf("offload result = %d after Wait, want 42", result)
+				}
+			})
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if result != 42 {
+				t.Fatalf("result = %d, want 42", result)
+			}
+		})
+	}
+}
+
+// TestParallelBarrierJoinsOffloads: with a lookahead set, an offloaded
+// closure that is never waited on is still joined before virtual time
+// advances past the window, so post-window events observe its writes.
+func TestParallelBarrierJoinsOffloads(t *testing.T) {
+	s := NewWithEngine(EngineSpec{Kind: EngineParallel, Workers: 2})
+	s.SetLookahead(Millisecond)
+	var flag atomic.Bool
+	s.Spawn("issuer", func(p *Proc) {
+		p.Go(func() {
+			time.Sleep(20 * time.Millisecond) // wall clock: outlive the window
+			flag.Store(true)
+		})
+		p.Sleep(10 * Millisecond) // virtual: far beyond the 1ms window
+		if !flag.Load() {
+			t.Error("event past the lookahead window ran before the offload was joined")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrainsOffloads: Shutdown joins outstanding closures and
+// releases the worker goroutines, so nothing races the caller afterwards.
+func TestShutdownDrainsOffloads(t *testing.T) {
+	s := NewWithEngine(EngineSpec{Kind: EngineParallel, Workers: 2})
+	var flag atomic.Bool
+	s.Spawn("issuer", func(p *Proc) {
+		p.Go(func() {
+			time.Sleep(5 * time.Millisecond)
+			flag.Store(true)
+		})
+		p.Sleep(Duration(Forever))
+	})
+	s.RunFor(Second)
+	s.Shutdown()
+	if !flag.Load() {
+		t.Fatal("Shutdown returned with an offloaded closure still outstanding")
+	}
+}
+
+// TestSameInstantOrderAcrossPartitions: events at one instant dispatch in
+// ascending partition order regardless of spawn order, including partitions
+// past the first 64-bit word of the active bitmap.
+func TestSameInstantOrderAcrossPartitions(t *testing.T) {
+	s := New()
+	const n = 70
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = s.AddPartition()
+	}
+	if s.Partitions() != n+1 {
+		t.Fatalf("Partitions = %d, want %d", s.Partitions(), n+1)
+	}
+	var order []int
+	// Spawn in reverse partition order: dispatch order must not follow it.
+	for i := n - 1; i >= 0; i-- {
+		part := parts[i]
+		s.SpawnOn(part, fmt.Sprintf("p%d", part), func(p *Proc) {
+			if p.Partition() != part {
+				t.Errorf("proc on partition %d, want %d", p.Partition(), part)
+			}
+			order = append(order, part)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("ran %d procs, want %d", len(order), n)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("same-instant dispatch order %v not ascending by partition", order)
+		}
+	}
+}
+
+// randomTopology runs a seeded random mesh of pinned producers and consumers
+// exchanging tokens through bounded queues and contending for per-node
+// resources, with a pure offload per token. It returns the ordered event log
+// and the final virtual time — the observables the engines must agree on.
+func randomTopology(t *testing.T, spec EngineSpec, seed int64) ([]string, Time) {
+	t.Helper()
+	s := NewWithEngine(spec)
+	s.SetLookahead(Millisecond)
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 2 + rng.Intn(4)
+	parts := make([]int, nodes)
+	qs := make([]*Queue[int], nodes)
+	rs := make([]*Resource, nodes)
+	for i := 0; i < nodes; i++ {
+		parts[i] = s.AddPartition()
+		qs[i] = NewQueue[int](s, fmt.Sprintf("q%d", i), 1+rng.Intn(3))
+		rs[i] = NewResource(s, fmt.Sprintf("r%d", i))
+	}
+	var log []string
+	record := func(p *Proc, what string) {
+		log = append(log, fmt.Sprintf("%d %s %s", p.Now(), p.Name(), what))
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		n := 5 + rng.Intn(10)
+		// Pre-draw the random delays so rng consumption order cannot
+		// depend on scheduling (it would not anyway — the spine is
+		// deterministic — but the test should not assume what it checks).
+		delays := make([]Duration, n)
+		for j := range delays {
+			delays[j] = Duration(rng.Intn(900)+1) * Microsecond
+		}
+		s.SpawnOn(parts[i], fmt.Sprintf("prod%d", i), func(p *Proc) {
+			for j := 0; j < n; j++ {
+				p.Sleep(delays[j])
+				rs[i].Use(p, 100*Microsecond)
+				if err := qs[i].Put(p, j); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				record(p, fmt.Sprintf("put%d", j))
+				x := j
+				job := p.Go(func() { x = x*x + 1 })
+				p.Sleep(50 * Microsecond)
+				job.Wait()
+				if x != j*j+1 {
+					t.Errorf("offload computed %d for %d", x, j)
+				}
+			}
+			qs[i].Close()
+		})
+		next := (i + 1) % nodes
+		s.SpawnOn(parts[next], fmt.Sprintf("cons%d", i), func(p *Proc) {
+			for {
+				v, ok := qs[i].Get(p)
+				if !ok {
+					record(p, "done")
+					return
+				}
+				rs[next].Use(p, 200*Microsecond)
+				record(p, fmt.Sprintf("got%d", v))
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return log, s.Now()
+}
+
+// TestDeterministicAcrossEngines is the randomized differential property
+// test: for a sweep of seeded random topologies, the serial engine and the
+// parallel engine at 1, 2, and 8 workers must produce identical event logs
+// and final times.
+func TestDeterministicAcrossEngines(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		refLog, refEnd := randomTopology(t, EngineSpec{Kind: EngineSerial}, seed)
+		if len(refLog) == 0 {
+			t.Fatalf("seed %d: empty reference log", seed)
+		}
+		for _, spec := range engineSpecs[1:] {
+			log, end := randomTopology(t, spec, seed)
+			if end != refEnd {
+				t.Fatalf("seed %d %s: ended at %v, serial at %v",
+					seed, specLabel(spec), end, refEnd)
+			}
+			if len(log) != len(refLog) {
+				t.Fatalf("seed %d %s: %d events, serial %d",
+					seed, specLabel(spec), len(log), len(refLog))
+			}
+			for i := range log {
+				if log[i] != refLog[i] {
+					t.Fatalf("seed %d %s: event %d = %q, serial %q",
+						seed, specLabel(spec), i, log[i], refLog[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTraceNeutralAcrossEngines: attaching a tracer under the parallel
+// engine must record exactly the serial engine's events at the same virtual
+// instants (satellite: tracer attach stays virtual-time neutral).
+func TestTraceNeutralAcrossEngines(t *testing.T) {
+	run := func(spec EngineSpec) (int, Time) {
+		s := NewWithEngine(spec)
+		s.SetLookahead(Millisecond)
+		sink := trace.New()
+		s.SetTracer(sink)
+		r := NewResource(s, "cpu")
+		q := NewQueue[int](s, "q", 2)
+		s.SpawnOn(s.AddPartition(), "producer", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				r.Use(p, Millisecond)
+				v := i
+				job := p.Go(func() { v *= 2 })
+				job.Wait()
+				if err := q.Put(p, v); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+			q.Close()
+		})
+		s.SpawnOn(s.AddPartition(), "consumer", func(p *Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+				p.Sleep(2 * Millisecond)
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Events(), s.Now()
+	}
+	refEvents, refEnd := run(EngineSpec{Kind: EngineSerial})
+	for _, spec := range engineSpecs[1:] {
+		events, end := run(spec)
+		if events != refEvents || end != refEnd {
+			t.Fatalf("%s: %d events ending %v, serial %d ending %v",
+				specLabel(spec), events, end, refEvents, refEnd)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parallelEngine runs offloaded closures (Proc.Go) on a pool of worker
+// goroutines while the deterministic event-dispatch spine — identical to
+// the serial engine's — advances the simulation. Determinism is preserved
+// by construction: closures are side-effect-free with respect to simulation
+// state, so only wall-clock timing changes with the worker count.
+//
+// The engine is conservative in the PDES sense: virtual time never advances
+// more than one lookahead window (the cluster's network latency) past an
+// outstanding closure. The run loop calls maybeBarrier before each time
+// advance; crossing the window boundary joins every outstanding closure.
+// Since a closure's results can only re-enter the simulation through a
+// device-model action at least one network latency after its issue site
+// observed them, the barrier guarantees workers are never racing the spine
+// when their output becomes visible.
+type parallelEngine struct {
+	sim     *Sim
+	workers int
+
+	// work feeds the worker pool; nil until the first offload (runs that
+	// never offload never spin up goroutines).
+	work chan *parallelJob
+	// outstanding counts issued-but-unfinished closures. Incremented on
+	// the spine, decremented by workers; the spine's barrier fast path
+	// reads it to skip the join when nothing is in flight.
+	outstanding atomic.Int64
+
+	// windowEnd is the virtual instant the current barrier window closes
+	// at; advancing past it joins all outstanding closures.
+	windowEnd Time
+}
+
+type parallelJob struct {
+	fn   func()
+	done chan struct{}
+}
+
+func (e *parallelEngine) Kind() EngineKind { return EngineParallel }
+
+func (e *parallelEngine) Workers() int { return e.workers }
+
+func (e *parallelEngine) offload(part int32, fn func()) *Job {
+	if e.work == nil {
+		e.work = make(chan *parallelJob, 4*e.workers)
+		for i := 0; i < e.workers; i++ {
+			go worker(e.work, &e.outstanding)
+		}
+	}
+	j := &parallelJob{fn: fn, done: make(chan struct{})}
+	e.outstanding.Add(1)
+	e.work <- j
+	return &Job{done: j.done}
+}
+
+func worker(work chan *parallelJob, outstanding *atomic.Int64) {
+	for j := range work {
+		j.fn()
+		close(j.done)
+		outstanding.Add(-1)
+	}
+}
+
+// maybeBarrier is called by the run loop just before virtual time advances
+// to t. Crossing the current window joins all outstanding closures and
+// opens a new window [t, t+lookahead].
+func (e *parallelEngine) maybeBarrier(t Time) {
+	if t <= e.windowEnd {
+		return
+	}
+	e.waitIdle()
+	e.windowEnd = t.Add(e.sim.lookahead)
+}
+
+// waitIdle blocks until no closures are outstanding. Only the spine calls
+// it, and only the spine increments outstanding, so a zero read is stable.
+func (e *parallelEngine) waitIdle() {
+	for e.outstanding.Load() > 0 {
+		// Joins are rare (window crossings) and the tail is short (one
+		// packet's sort); a yield loop beats condvar bookkeeping on the
+		// offload fast path.
+		runtime.Gosched()
+	}
+}
+
+// drain joins every outstanding closure and releases the worker pool. The
+// run loop calls it when the event queue empties, and Shutdown calls it
+// before killing procs; a later offload simply spins the pool up again.
+func (e *parallelEngine) drain() {
+	e.waitIdle()
+	if e.work != nil {
+		close(e.work)
+		e.work = nil
+	}
+	e.windowEnd = 0
+}

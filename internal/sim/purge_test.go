@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"lmas/internal/trace"
@@ -82,15 +83,123 @@ func TestShutdownPurgesCondAndQueueWaiters(t *testing.T) {
 }
 
 // TestShutdownAccountsPartialHold: a proc killed while holding a resource
-// contributes its partial hold to Busy, as a Release at that instant would.
+// contributes its partial hold to Busy, as a Release at that instant would —
+// and, symmetrically, elements still buffered in a queue contribute the wait
+// they have accrued so far to WaitStats.
 func TestShutdownAccountsPartialHold(t *testing.T) {
 	s := New()
 	r := NewResource(s, "cpu")
+	q := NewQueue[int](s, "q", 2)
 	s.Spawn("holder", func(p *Proc) { r.Use(p, 10*Second) })
+	s.Spawn("putter", func(p *Proc) { q.Put(p, 1) })
 	s.RunFor(3 * Second)
 	s.Shutdown()
 	if got := r.Busy(); got != 3*Second {
 		t.Fatalf("Busy = %v after mid-hold shutdown, want 3s", got)
+	}
+	if w, _ := q.WaitStats(); w != 3*Second {
+		t.Fatalf("WaitStats = %v for an element buffered across shutdown, want 3s", w)
+	}
+}
+
+// TestWaitStatsCountsBufferedResidual: WaitStats blends the dequeued
+// elements' accumulated wait with the residual of elements still enqueued,
+// so a run cut short by RunFor/Shutdown conserves total queue time; a
+// drained queue is unaffected (zero residual).
+func TestWaitStatsCountsBufferedResidual(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q", 4)
+	s.Spawn("putter", func(p *Proc) {
+		q.Put(p, 1) // t=0
+		p.Sleep(Second)
+		q.Put(p, 2) // t=1s
+	})
+	s.Spawn("getter", func(p *Proc) {
+		p.Sleep(2 * Second)
+		q.Get(p) // dequeues element 1 after 2s buffered
+	})
+	s.RunFor(3 * Second)
+	// Element 1: dequeued, waited 2s. Element 2: still buffered, 1s->3s.
+	if w, hw := q.WaitStats(); w != 4*Second || hw != 2 {
+		t.Fatalf("WaitStats = %v, %d mid-run; want 4s, 2", w, hw)
+	}
+	s.Shutdown()
+	// Drained case: a fresh queue fully consumed reports only cumWait.
+	s2 := New()
+	q2 := NewQueue[int](s2, "q2", 1)
+	s2.Spawn("putter", func(p *Proc) { q2.Put(p, 1); q2.Close() })
+	s2.Spawn("getter", func(p *Proc) {
+		p.Sleep(Second)
+		q2.Get(p)
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := q2.WaitStats(); w != Second {
+		t.Fatalf("drained queue WaitStats = %v, want 1s", w)
+	}
+}
+
+// TestCondWakeOrderFollowsKey pins satellite 2: Signal wakes the waiter
+// with the minimum (partition, seq) key — a pure function of the schedule
+// history — not the waiter that happens to be first in the slice.
+func TestCondWakeOrderFollowsKey(t *testing.T) {
+	s := New()
+	c := NewCond(s, "gate")
+	p1, p2, p3 := s.AddPartition(), s.AddPartition(), s.AddPartition()
+	var order []string
+	wait := func(part int, name string, delay Duration) {
+		s.SpawnOn(part, name, func(p *Proc) {
+			p.Sleep(delay)
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	// Arrival (= insertion) order is partition 3, 2, 1; wake order must be
+	// key order 1, 2, 3.
+	wait(p3, "on3", 0)
+	wait(p2, "on2", Millisecond)
+	wait(p1, "on1", 2*Millisecond)
+	s.Spawn("sig", func(p *Proc) {
+		p.Sleep(3 * Millisecond)
+		c.Signal()
+		p.Sleep(Millisecond)
+		c.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[on1 on2 on3]" {
+		t.Fatalf("wake order %v, want key order [on1 on2 on3]", order)
+	}
+}
+
+// TestCondWakeFIFOWhenUnpinned: with every proc in partition 0 the minimum
+// key is the oldest waiter, i.e. exactly the historical FIFO order — the
+// compatibility property that keeps unpinned sims bit-identical to the old
+// global-seq kernel.
+func TestCondWakeFIFOWhenUnpinned(t *testing.T) {
+	s := New()
+	c := NewCond(s, "gate")
+	var order []string
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("w%d", i)
+		delay := Duration(i) * Millisecond
+		s.Spawn(name, func(p *Proc) {
+			p.Sleep(delay)
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.Spawn("sig", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		c.Broadcast()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[w0 w1 w2 w3]" {
+		t.Fatalf("wake order %v, want FIFO [w0 w1 w2 w3]", order)
 	}
 }
 

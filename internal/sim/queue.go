@@ -154,11 +154,18 @@ func (q *Queue[T]) take() T {
 	return v
 }
 
-// WaitStats reports the cumulative time dequeued elements spent buffered and
-// the maximum depth the queue ever reached. Elements still buffered are not
-// counted in cumWait until they are taken.
+// WaitStats reports the cumulative time elements have spent buffered and the
+// maximum depth the queue ever reached. Elements still enqueued contribute
+// the wait they have accrued so far: take() only accounts dequeued elements,
+// so without the residual term a run shut down (or killed) with packets
+// still buffered under-reports queue wait and breaks critical-path
+// conservation. Drained queues are unaffected (the residual is zero).
 func (q *Queue[T]) WaitStats() (cumWait Duration, highWater int) {
-	return q.cumWait, q.highWater
+	cumWait = q.cumWait
+	for i := 0; i < q.n; i++ {
+		cumWait += Duration(q.sim.now - q.enqT[(q.head+i)%len(q.buf)])
+	}
+	return cumWait, q.highWater
 }
 
 // Close marks the queue closed: pending and future Puts fail with ErrClosed,

@@ -2,29 +2,38 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
 	"lmas/internal/trace"
 )
 
-// event is a scheduled callback or proc resumption. Events with equal
-// times fire in schedule order (seq breaks ties), which keeps the
-// simulation deterministic. An event resumes proc when proc is non-nil and
-// calls fn otherwise; tagging resumptions with the proc (instead of
-// closing over it) keeps the hot scheduling paths allocation-free and lets
-// a parking proc hand control straight to the next runnable proc.
+// event is a scheduled callback or proc resumption. Events with equal times
+// fire in (partition, per-partition seq) order: within a partition, schedule
+// order; across partitions, ascending partition rank. The per-partition seq
+// replaces the old global counter so the tie-break key is stable under any
+// engine — a partition's numbering depends only on that partition's schedule
+// history, not on how unrelated partitions' events interleaved. An event
+// resumes proc when proc is non-nil and calls fn otherwise; tagging
+// resumptions with the proc (instead of closing over it) keeps the hot
+// scheduling paths allocation-free and lets a parking proc hand control
+// straight to the next runnable proc.
 type event struct {
 	t    Time
+	part int32
 	seq  uint64
 	fn   func()
 	proc *Proc
 }
 
-// before reports whether e fires ahead of f in (time, seq) order.
+// before reports whether e fires ahead of f in (time, partition, seq) order.
 func (e event) before(f event) bool {
 	if e.t != f.t {
 		return e.t < f.t
+	}
+	if e.part != f.part {
+		return e.part < f.part
 	}
 	return e.seq < f.seq
 }
@@ -40,15 +49,31 @@ type Sim struct {
 	// into an interface value — one allocation per event — and this is
 	// the hottest path in the emulator.
 	events []event
-	// nowq holds events scheduled for the current instant, a FIFO ring
-	// consumed before the heap advances time. Scheduling "at now" is the
-	// dominant case (proc wakeups from conds, resources, and spawns), and
-	// the ring makes it O(1) instead of an O(log n) heap round trip.
-	// Invariant: every queued entry has t == now (the queue drains before
-	// time advances), so FIFO order is exactly (t, seq) order.
-	nowq     []event
-	nowqHead int
-	seq      uint64
+	// nowqs holds events scheduled for the current instant, one FIFO ring
+	// per partition, consumed before the heap advances time. Scheduling
+	// "at now" is the dominant case (proc wakeups from conds, resources,
+	// and spawns), and the rings make it O(1) instead of an O(log n) heap
+	// round trip. Invariant: every queued entry has t == now (the rings
+	// drain before time advances), so within a ring FIFO order is exactly
+	// (t, part, seq) order, and the globally next entry is the head of the
+	// lowest-numbered non-empty ring. nowActive is a bitmap of non-empty
+	// rings (bit i of word i/64) so finding that ring is one
+	// find-first-set in the common single-word case.
+	nowqs     []nowRing
+	nowActive []uint64
+	// seqs holds one tie-break counter per partition.
+	seqs []uint64
+	// curPart is the partition of the currently dispatching event; fn
+	// events and spawns scheduled from inside it inherit this partition.
+	curPart int32
+
+	// engine is the event-loop strategy (serial or parallel); par is the
+	// same pointer, pre-downcast, when the parallel engine is active —
+	// the run loop's window check is then one nil test instead of an
+	// interface call per event.
+	engine    Engine
+	par       *parallelEngine
+	lookahead Duration
 
 	parked chan struct{}  // handoff: running proc -> scheduler
 	procs  map[*Proc]bool // all live procs
@@ -86,29 +111,51 @@ func (s *Sim) SetTracer(t *trace.Sink) { s.tracer = t }
 // the sim (disk, netsim) record their transfers through it.
 func (s *Sim) Tracer() *trace.Sink { return s.tracer }
 
-// New creates an empty simulation at time zero.
+// New creates an empty simulation at time zero on the serial engine.
 func New() *Sim {
-	return &Sim{
-		parked: make(chan struct{}),
-		procs:  make(map[*Proc]bool),
-	}
+	return NewWithEngine(EngineSpec{})
 }
 
 // Now reports the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// nowRing is one partition's FIFO ring of current-instant events.
+type nowRing struct {
+	q    []event
+	head int
+}
+
 // schedule enqueues an event at absolute time t (clamped to the present).
+// Proc resumptions are keyed by the proc's partition; fn callbacks by the
+// scheduling context's.
 func (s *Sim) schedule(t Time, fn func(), p *Proc) {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	e := event{t: t, seq: s.seq, fn: fn, proc: p}
+	part := s.curPart
+	if p != nil {
+		part = p.part
+	}
+	s.seqs[part]++
+	e := event{t: t, part: part, seq: s.seqs[part], fn: fn, proc: p}
 	if t == s.now {
-		s.nowq = append(s.nowq, e)
+		r := &s.nowqs[part]
+		r.q = append(r.q, e)
+		s.nowActive[part>>6] |= 1 << (uint(part) & 63)
 		return
 	}
 	s.heapPush(e)
+}
+
+// lowestActive returns the lowest-numbered partition with a non-empty
+// current-instant ring, or -1.
+func (s *Sim) lowestActive() int32 {
+	for wi, w := range s.nowActive {
+		if w != 0 {
+			return int32(wi)<<6 + int32(bits.TrailingZeros64(w))
+		}
+	}
+	return -1
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is
@@ -127,7 +174,13 @@ func (s *Sim) After(d Duration, fn func()) {
 func (s *Sim) resumeAt(t Time, p *Proc) { s.schedule(t, nil, p) }
 
 // pending reports the number of queued events.
-func (s *Sim) pending() int { return len(s.events) + len(s.nowq) - s.nowqHead }
+func (s *Sim) pending() int {
+	n := len(s.events)
+	for i := range s.nowqs {
+		n += len(s.nowqs[i].q) - s.nowqs[i].head
+	}
+	return n
+}
 
 // heapPush inserts e into the event heap.
 func (s *Sim) heapPush(e event) {
@@ -173,19 +226,21 @@ func (s *Sim) heapPop() event {
 	return top
 }
 
-// peekNext reports the earliest queued event without removing it.
+// peekNext reports the earliest queued event without removing it. The
+// current-instant candidate is the head of the lowest active ring: every
+// ring entry shares t == now, so the ascending-partition scan plus each
+// ring's FIFO order is exactly (t, part, seq) order.
 func (s *Sim) peekNext() (event, bool) {
-	qok := s.nowqHead < len(s.nowq)
+	part := s.lowestActive()
 	hok := len(s.events) > 0
-	switch {
-	case qok && hok:
-		if s.events[0].before(s.nowq[s.nowqHead]) {
+	if part >= 0 {
+		r := &s.nowqs[part]
+		if hok && s.events[0].before(r.q[r.head]) {
 			return s.events[0], true
 		}
-		return s.nowq[s.nowqHead], true
-	case qok:
-		return s.nowq[s.nowqHead], true
-	case hok:
+		return r.q[r.head], true
+	}
+	if hok {
 		return s.events[0], true
 	}
 	return event{}, false
@@ -193,17 +248,21 @@ func (s *Sim) peekNext() (event, bool) {
 
 // popNext removes and returns the earliest queued event.
 func (s *Sim) popNext() (event, bool) {
-	qok := s.nowqHead < len(s.nowq)
+	part := s.lowestActive()
 	hok := len(s.events) > 0
-	if qok && (!hok || !s.events[0].before(s.nowq[s.nowqHead])) {
-		e := s.nowq[s.nowqHead]
-		s.nowq[s.nowqHead] = event{}
-		s.nowqHead++
-		if s.nowqHead == len(s.nowq) {
-			s.nowq = s.nowq[:0] // reuse the ring's storage
-			s.nowqHead = 0
+	if part >= 0 {
+		r := &s.nowqs[part]
+		if !hok || !s.events[0].before(r.q[r.head]) {
+			e := r.q[r.head]
+			r.q[r.head] = event{}
+			r.head++
+			if r.head == len(r.q) {
+				r.q = r.q[:0] // reuse the ring's storage
+				r.head = 0
+				s.nowActive[part>>6] &^= 1 << (uint(part) & 63)
+			}
+			return e, true
 		}
-		return e, true
 	}
 	if hok {
 		return s.heapPop(), true
@@ -211,8 +270,10 @@ func (s *Sim) popNext() (event, bool) {
 	return event{}, false
 }
 
-// dispatch executes one event in scheduler context.
+// dispatch executes one event in scheduler context. The event's partition
+// becomes the scheduling context for everything it runs.
 func (s *Sim) dispatch(ev event) {
+	s.curPart = ev.part
 	if ev.proc != nil {
 		s.runProc(ev.proc)
 	} else {
@@ -226,11 +287,17 @@ func (s *Sim) clearEvents() {
 		s.events[i] = event{}
 	}
 	s.events = s.events[:0]
-	for i := s.nowqHead; i < len(s.nowq); i++ {
-		s.nowq[i] = event{}
+	for p := range s.nowqs {
+		r := &s.nowqs[p]
+		for i := r.head; i < len(r.q); i++ {
+			r.q[i] = event{}
+		}
+		r.q = r.q[:0]
+		r.head = 0
 	}
-	s.nowq = s.nowq[:0]
-	s.nowqHead = 0
+	for i := range s.nowActive {
+		s.nowActive[i] = 0
+	}
 }
 
 // Proc is an emulated thread of control: a goroutine that runs only when the
@@ -240,6 +307,7 @@ func (s *Sim) clearEvents() {
 type Proc struct {
 	sim    *Sim
 	name   string
+	part   int32 // event-ordering partition (0 = global)
 	resume chan struct{}
 	killed bool
 	// blocked describes what the proc is waiting on, for deadlock reports.
@@ -261,10 +329,20 @@ func (p *Proc) Now() Time { return p.sim.now }
 type killedSentinel struct{ name string }
 
 // Spawn starts a new proc running fn. The proc is scheduled to begin at the
-// current virtual time. Spawn may be called before Run or from a running
-// proc or event callback.
+// current virtual time and inherits the spawning context's partition
+// (partition 0 when spawned from outside the event loop). Spawn may be
+// called before Run or from a running proc or event callback.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	return s.SpawnOn(int(s.curPart), name, fn)
+}
+
+// SpawnOn is Spawn with the proc pinned to an explicit partition (see
+// AddPartition); clusters pin each node's procs to that node's partition.
+func (s *Sim) SpawnOn(part int, name string, fn func(p *Proc)) *Proc {
+	if part < 0 || part >= len(s.seqs) {
+		panic(fmt.Sprintf("sim: SpawnOn partition %d of %d", part, len(s.seqs)))
+	}
+	p := &Proc{sim: s, name: name, part: int32(part), resume: make(chan struct{})}
 	if t := s.tracer; t != nil {
 		p.track = t.NewTrack("procs", name)
 		t.Instant(p.track, int64(s.now), "spawn", "proc")
@@ -350,6 +428,9 @@ func (p *Proc) park(why string) {
 		if !s.procs[q] {
 			continue // stale wakeup for an exited proc
 		}
+		// The handoff bypasses dispatch, so update the scheduling
+		// context's partition here.
+		s.curPart = q.part
 		q.blocked = ""
 		if q == p {
 			// Our own wakeup is next: skip the channel round trip
@@ -439,9 +520,15 @@ func (s *Sim) Run() error {
 		if !ok {
 			break
 		}
+		// Conservative window check, devirtualized: one nil test on the
+		// serial hot path (see Sim.par).
+		if par := s.par; par != nil && ev.t > s.now {
+			par.maybeBarrier(ev.t)
+		}
 		s.now = ev.t
 		s.dispatch(ev)
 	}
+	s.engine.drain()
 	if len(s.procs) > 0 {
 		var names []string
 		for p := range s.procs {
@@ -465,9 +552,13 @@ func (s *Sim) RunFor(d Duration) {
 			break
 		}
 		s.popNext()
+		if par := s.par; par != nil && ev.t > s.now {
+			par.maybeBarrier(ev.t)
+		}
 		s.now = ev.t
 		s.dispatch(ev)
 	}
+	s.engine.drain()
 	if s.now < deadline {
 		s.now = deadline
 	}
@@ -476,7 +567,10 @@ func (s *Sim) RunFor(d Duration) {
 // Shutdown force-terminates all live procs (their goroutines unwind via an
 // internal panic that Shutdown recovers). It is safe to call after Run or
 // RunFor; it must not be called from proc context.
-func (s *Sim) Shutdown() { s.killProcs() }
+func (s *Sim) Shutdown() {
+	s.engine.drain()
+	s.killProcs()
+}
 
 func (s *Sim) killProcs() {
 	var killed []*Proc
