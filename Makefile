@@ -1,7 +1,7 @@
 # Convenience targets for the lmas emulation library. Everything here is a
 # thin wrapper over the go tool; no target is required by CI or the build.
 
-.PHONY: all build test race bench bench-smoke bench-allocs baseline
+.PHONY: all build test race bench bench-smoke bench-allocs baseline monitor
 
 all: build
 
@@ -40,3 +40,10 @@ bench-allocs:
 # the file byte-reproducible; commit the result.
 baseline:
 	go run ./cmd/lmasreport bench -quick -stamp=false -o bench/baseline.json
+
+# Run the quick bench with the live dashboard and a run store attached:
+# open the printed address in a browser to watch cells stream in, and query
+# the recorded runs afterwards with `lmasreport query runs ...`.
+monitor:
+	go run ./cmd/lmasreport bench -quick -stamp=false -o /dev/null \
+		-record runs -serve 127.0.0.1:8070

@@ -25,6 +25,7 @@ import (
 	"lmas/internal/cluster"
 	"lmas/internal/dsmsort"
 	"lmas/internal/experiments"
+	"lmas/internal/recorder"
 	"lmas/internal/records"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -140,10 +141,26 @@ func runFig10(args []string) error {
 	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
 	fs.BoolVar(&opt.Critpath, "critpath", opt.Critpath, "attach the critical-path profiler to both runs")
 	report := fs.String("report", "", "write the load-managed run's RunReport here (and the static run's next to it as <name>.static.json)")
+	record := fs.String("record", "", "record both runs into this run store directory")
+	fs.StringVar(&opt.Experiment, "experiment", "fig10", "experiment name for recorded runs")
 	fs.Parse(args)
+	var store *recorder.Store
+	if *record != "" {
+		var err error
+		if store, err = recorder.OpenStore(*record); err != nil {
+			return err
+		}
+		opt.Record = store
+	}
 	res, err := experiments.RunFig10(opt)
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		if err := store.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("recorded both runs -> %s (experiment %q)\n", *record, opt.Experiment)
 	}
 	fmt.Println(res.Summary())
 	for _, run := range []experiments.Fig10Run{res.Static, res.Managed} {

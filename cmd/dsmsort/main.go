@@ -17,6 +17,7 @@ import (
 	"lmas/internal/dsmsort"
 	"lmas/internal/experiments"
 	"lmas/internal/prof"
+	"lmas/internal/recorder"
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -46,6 +47,10 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		engine    = flag.String("engine", "", "sim engine: serial|parallel (default serial; results are identical, parallel only changes wall clock)")
 		workers   = flag.Int("workers", 0, "parallel-engine worker goroutines (0 = one per CPU)")
+		record    = flag.String("record", "", "record the run into this run store directory")
+		expName   = flag.String("experiment", "adhoc", "experiment name for the recorded run")
+		sampleMs  = flag.Int("sample", 100, "recorder sampling interval in virtual ms")
+		gaugeMs   = flag.Int("gauges", 0, "also emit periodic node/queue gauges into the report at this virtual-ms interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -71,13 +76,46 @@ func main() {
 		sink = trace.New()
 		cl.AttachTrace(sink)
 	}
-	if *report != "" {
+	if *report != "" || *record != "" || *gaugeMs > 0 {
 		cl.AttachTelemetry(telemetry.NewRegistry(), 0)
 	}
 	var pf *critpath.Profiler
 	if *critflag {
 		pf = critpath.New()
 		cl.AttachProfiler(pf)
+	}
+	workload := map[string]any{
+		"program":   "dsmsort",
+		"n":         *n,
+		"alpha":     *alpha,
+		"beta":      *beta,
+		"gamma2":    *gamma2,
+		"packet":    *packet,
+		"placement": *placement,
+		"policy":    *policy,
+		"dist":      *dist,
+	}
+	var rec recorder.Recorder
+	var store *recorder.Store
+	if *record != "" {
+		store, err = recorder.OpenStore(*record)
+		if err != nil {
+			fail(err)
+		}
+		rec = store.NewRun()
+		ccfg := cl.Config()
+		rec.Begin(&recorder.Header{
+			Experiment: *expName,
+			Name:       "dsmsort",
+			ConfigHash: recorder.ConfigHash(ccfg, workload, *seed),
+			Seed:       *seed,
+			Config:     ccfg,
+			Workload:   workload,
+		})
+		cl.AttachRecorder(rec, sim.Duration(*sampleMs)*sim.Millisecond)
+	}
+	if *gaugeMs > 0 {
+		cl.AttachPeriodicGauges(sim.Duration(*gaugeMs) * sim.Millisecond)
 	}
 
 	in, err := dsmsort.MakeInputNamed(cl, *n, *dist, *seed, *packet)
@@ -113,6 +151,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	cl.FinishSampling()
 	if res.Pass1.Monitor != nil {
 		stages := []string{"distribute", "blocksort", "collect"}
 		if cfg.Placement == dsmsort.Conventional {
@@ -145,30 +184,29 @@ func main() {
 			sink.Events(), sink.Tracks(), *traceFile)
 	}
 	var cpRep *critpath.Report
-	if *report != "" {
+	if *report != "" || rec != nil {
 		// Pool-health gauges must land in the registry before BuildReport
 		// snapshots it. This is a single-run process, so the process-global
 		// default pool's counters describe exactly this run.
 		cl.Telemetry.FillBufpoolGauges(cl.Sim.Now(), bufpool.ClassStatsSnapshot())
 		rep := cl.BuildReport("dsmsort", *seed, res.Elapsed)
-		rep.Workload = map[string]any{
-			"program":   "dsmsort",
-			"n":         *n,
-			"alpha":     *alpha,
-			"beta":      *beta,
-			"gamma2":    *gamma2,
-			"packet":    *packet,
-			"placement": cfg.Placement.String(),
-			"policy":    *policy,
-			"dist":      *dist,
-		}
+		rep.Workload = workload
 		cpRep = rep.Critpath
 		setPrediction(cpRep, params, cfg)
-		if err := telemetry.WriteJSON(*report, rep); err != nil {
-			fail(err)
+		if *report != "" {
+			if err := telemetry.WriteJSON(*report, rep); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  report: %d counters, %d histograms, %d decisions -> %s\n",
+				len(rep.Counters), len(rep.Histograms), len(rep.Decisions), *report)
 		}
-		fmt.Printf("  report: %d counters, %d histograms, %d decisions -> %s\n",
-			len(rep.Counters), len(rep.Histograms), len(rep.Decisions), *report)
+		if rec != nil {
+			rec.Finish(rep)
+			if err := store.Err(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  recorded -> %s (experiment %q)\n", *record, *expName)
+		}
 	} else if pf != nil {
 		cpRep = pf.Report()
 		setPrediction(cpRep, params, cfg)

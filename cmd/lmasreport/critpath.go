@@ -9,6 +9,7 @@ import (
 
 	"lmas/internal/critpath"
 	"lmas/internal/metrics"
+	"lmas/internal/plot"
 	"lmas/internal/telemetry"
 )
 
@@ -120,11 +121,11 @@ var kindSegments = []struct {
 	color string
 	ns    func(critpath.WaterfallRow) int64
 }{
-	{"cpu", seriesColors[0], func(w critpath.WaterfallRow) int64 { return w.CPUNs }},
-	{"disk", seriesColors[1], func(w critpath.WaterfallRow) int64 { return w.DiskNs }},
-	{"net", seriesColors[2], func(w critpath.WaterfallRow) int64 { return w.NetNs }},
-	{"queue-wait", seriesColors[3], func(w critpath.WaterfallRow) int64 { return w.QueueWaitNs }},
-	{"cond-wait", seriesColors[4], func(w critpath.WaterfallRow) int64 { return w.CondWaitNs }},
+	{"cpu", plot.SeriesColors[0], func(w critpath.WaterfallRow) int64 { return w.CPUNs }},
+	{"disk", plot.SeriesColors[1], func(w critpath.WaterfallRow) int64 { return w.DiskNs }},
+	{"net", plot.SeriesColors[2], func(w critpath.WaterfallRow) int64 { return w.NetNs }},
+	{"queue-wait", plot.SeriesColors[3], func(w critpath.WaterfallRow) int64 { return w.QueueWaitNs }},
+	{"cond-wait", plot.SeriesColors[4], func(w critpath.WaterfallRow) int64 { return w.CondWaitNs }},
 }
 
 // critpathSVG renders one stacked horizontal bar per node: where that node's
@@ -175,23 +176,20 @@ func critpathSVG(rep *telemetry.RunReport) string {
 	}
 
 	rowH, gap := 22, 8
-	topH := padT + 10
-	h := topH + len(order)*(rowH+gap) + padB
-	plotW := float64(svgW - padL - padR)
+	topH := plot.PadT + 10
+	h := topH + len(order)*(rowH+gap) + plot.PadB
+	plotW := float64(plot.W - plot.PadL - plot.PadR)
 
 	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`+"\n",
-		svgW, h, svgW, h)
-	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", svgW, h, inkSurface)
-	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" fill="%s">Latency attribution by node — run %q</text>`+"\n",
-		padL, inkPrimary, rep.Name)
+	plot.Open(&b, plot.W, h)
+	plot.Title(&b, fmt.Sprintf("Latency attribution by node — run %q", rep.Name))
 
 	for i, name := range order {
 		w := byNode[name]
 		y := topH + i*(rowH+gap)
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
-			padL-8, y+rowH/2+4, inkSecond, name)
-		x := float64(padL)
+			plot.PadL-8, y+rowH/2+4, plot.InkSecond, name)
+		x := float64(plot.PadL)
 		for _, seg := range kindSegments {
 			ns := seg.ns(w)
 			if ns == 0 {
@@ -203,15 +201,13 @@ func critpathSVG(rep *telemetry.RunReport) string {
 			x += wd
 		}
 		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s">%.3fs</text>`+"\n",
-			x+6, y+rowH/2+4, inkMuted, sec(w.TotalNs()))
+			x+6, y+rowH/2+4, plot.InkMuted, sec(w.TotalNs()))
 	}
 
-	lx, ly := svgW-padR+14, topH
+	lx, ly := plot.W-plot.PadR+14, topH
 	for i, seg := range kindSegments {
-		y := ly + i*18
-		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, y, seg.color)
-		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n", lx+18, y+10, inkSecond, seg.name)
+		plot.LegendSwatch(&b, lx, ly+i*18, seg.color, seg.name)
 	}
-	b.WriteString("</svg>\n")
+	plot.Close(&b)
 	return b.String()
 }

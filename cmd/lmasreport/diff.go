@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"lmas/internal/metrics"
+	"lmas/internal/recorder"
 	"lmas/internal/telemetry"
 )
 
@@ -16,29 +17,59 @@ func runDiff(args []string) error {
 	p99 := fs.Float64("p99-threshold", 0,
 		"relative p99 latency growth that counts as a regression (0 = informational only)")
 	quiet := fs.Bool("q", false, "print only regressions and the verdict")
-	files := parseMixed(fs, args)
-	if len(files) != 2 {
-		return fmt.Errorf("diff: want BASE and NEW report files, have %d arg(s)", len(files))
+	store := fs.String("store", "",
+		"read BASE and NEW as experiment names from this run store instead of report files")
+	names := parseMixed(fs, args)
+	if len(names) != 2 {
+		if *store != "" {
+			return fmt.Errorf("diff: want BASE and NEW experiment names, have %d arg(s)", len(names))
+		}
+		return fmt.Errorf("diff: want BASE and NEW report files, have %d arg(s)", len(names))
 	}
-	base, err := telemetry.ReadFile(files[0])
-	if err != nil {
-		return fmt.Errorf("base: %w", err)
-	}
-	next, err := telemetry.ReadFile(files[1])
-	if err != nil {
-		return fmt.Errorf("new: %w", err)
+	var base, next *telemetry.Trajectory
+	if *store != "" {
+		st, err := openStoreRead(*store)
+		if err != nil {
+			return err
+		}
+		if base, err = storeTrajectory(st, names[0]); err != nil {
+			return err
+		}
+		if next, err = storeTrajectory(st, names[1]); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if base, err = telemetry.ReadFile(names[0]); err != nil {
+			return fmt.Errorf("base: %w", err)
+		}
+		if next, err = telemetry.ReadFile(names[1]); err != nil {
+			return fmt.Errorf("new: %w", err)
+		}
 	}
 
 	res := telemetry.Diff(base, next, telemetry.DiffOptions{
 		RuntimeThreshold: *rt,
 		P99Threshold:     *p99,
 	})
+	if n := renderDiff(res, names[0], names[1], *quiet); n > 0 {
+		fmt.Fprintf(os.Stderr, "lmasreport diff: %d regression(s) past threshold\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions past thresholds")
+	return nil
+}
 
+// renderDiff prints the comparison table and any missing-run notes, and
+// returns the number of regressions past threshold. Shared by `diff` and
+// `query gate` so the store-backed verdict is computed by exactly the same
+// code as the file-based CI gate.
+func renderDiff(res *telemetry.DiffResult, from, to string, quiet bool) int {
 	shown := 0
-	t := metrics.NewTable(fmt.Sprintf("Diff %s -> %s", files[0], files[1]),
+	t := metrics.NewTable(fmt.Sprintf("Diff %s -> %s", from, to),
 		"run", "field", "base", "new", "delta", "verdict")
 	for _, e := range res.Entries {
-		if *quiet && !e.Regressed {
+		if quiet && !e.Regressed {
 			continue
 		}
 		verdict := "ok"
@@ -58,17 +89,39 @@ func runDiff(args []string) error {
 	for _, m := range res.Missing {
 		fmt.Println(m)
 	}
-
-	if res.Regressed() {
-		n := 0
-		for _, e := range res.Entries {
-			if e.Regressed {
-				n++
-			}
+	regs := 0
+	for _, e := range res.Entries {
+		if e.Regressed {
+			regs++
 		}
-		fmt.Fprintf(os.Stderr, "lmasreport diff: %d regression(s) past threshold\n", n)
-		os.Exit(1)
 	}
-	fmt.Println("no regressions past thresholds")
-	return nil
+	return regs
+}
+
+// openStoreRead opens an existing run store without creating it — reads
+// against a mistyped path should fail loudly, not conjure an empty store.
+func openStoreRead(dir string) (*recorder.Store, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("run store %s: %w", dir, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("run store %s: not a directory", dir)
+	}
+	return &recorder.Store{Dir: dir}, nil
+}
+
+// storeTrajectory selects an experiment's finished runs as a trajectory,
+// failing when the selection is empty (an empty side would make the gate
+// vacuously pass).
+func storeTrajectory(st *recorder.Store, experiment string) (*telemetry.Trajectory, error) {
+	runs, err := st.Select(experiment)
+	if err != nil {
+		return nil, err
+	}
+	tr := recorder.TrajectoryOf(runs)
+	if len(tr.Runs) == 0 {
+		return nil, fmt.Errorf("run store %s: no finished runs for experiment %q", st.Dir, experiment)
+	}
+	return tr, nil
 }

@@ -5,14 +5,21 @@
 //	lmasreport show  run.json [-svg util.svg] [-all]
 //	lmasreport critpath run.json [-svg attr.svg]
 //	lmasreport diff  base.json new.json [-runtime-threshold 0.10] [-p99-threshold T]
-//	lmasreport bench [-quick] [-o FILE] [-seed S]
+//	lmasreport bench [-quick] [-o FILE] [-seed S] [-record DIR] [-serve ADDR]
+//	lmasreport query STORE {list|show|metric|gate|import} ...
+//	lmasreport serve STORE [-addr A]
 //
 // show renders paper-style tables (config, runtime, per-node utilization,
 // counters, latency quantiles, the load-manager decision log) and can plot
 // a Figure-10-style utilization-versus-time SVG. diff compares two reports
 // or bench trajectories field by field and exits non-zero when a gated
 // field regresses past its threshold — the CI regression gate. bench runs
-// the standard DSM-Sort matrix and writes one trajectory point.
+// the standard DSM-Sort matrix and writes one trajectory point; with
+// -record it also streams every cell into a queryable run store, and with
+// -serve it hosts the live monitoring dashboard while the sweep runs.
+// query filters, aggregates, and compares stored runs (gate reproduces the
+// bench regression verdict from store records alone); serve replays stored
+// runs into the same dashboard.
 package main
 
 import (
@@ -37,6 +44,10 @@ func main() {
 		err = runDiff(args)
 	case "bench":
 		err = runBench(args)
+	case "query":
+		err = runQuery(args)
+	case "serve":
+		err = runServe(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,5 +85,17 @@ commands:
   diff  BASE NEW [-runtime-threshold R] [-p99-threshold P] [-q]
                                        field-by-field comparison; exit 1 on regression
   bench [-quick] [-o FILE] [-seed S] [-stamp=false]
-                                       run the DSM-Sort matrix, write a trajectory point`)
+        [-record DIR] [-serve ADDR] [-experiment E] [-sample MS]
+                                       run the DSM-Sort matrix, write a trajectory point;
+                                       optionally record runs and serve the live dashboard
+  query STORE list   [-experiment E]   enumerate recorded runs
+  query STORE show   RUN-ID            render one stored run's report
+  query STORE metric NAME [-experiment E]
+                                       one instrument across stored runs
+  query STORE gate   -base EXP -new EXP [-runtime-threshold R] [-p99-threshold P]
+                                       bench regression gate from store records; exit 1 on regression
+  query STORE import FILE -experiment E
+                                       load a report/trajectory file into the store
+  serve STORE-or-FILE [-addr A] [-experiment E]
+                                       replay stored runs into the monitoring dashboard`)
 }

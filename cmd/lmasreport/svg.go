@@ -4,31 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"lmas/internal/plot"
 	"lmas/internal/telemetry"
 )
-
-// Plot geometry and ink. Colors follow the reference data-viz palette: the
-// categorical slots are assigned to nodes in fixed order (color follows the
-// entity), series are 2px lines over a recessive grid, and every series is
-// both legended and direct-labeled so identity never rides on color alone.
-const (
-	svgW, svgH             = 800, 420
-	padL, padR, padT, padB = 60, 150, 44, 48
-
-	inkSurface  = "#fcfcfb"
-	inkPrimary  = "#0b0b0b"
-	inkSecond   = "#52514e"
-	inkMuted    = "#898781"
-	inkGrid     = "#e1e0d9"
-	inkBaseline = "#c3c2b7"
-)
-
-// seriesColors is the fixed categorical order; series beyond the eighth are
-// dropped with an explicit note, never recolored.
-var seriesColors = []string{
-	"#2a78d6", "#eb6834", "#1baf7a", "#eda100",
-	"#e87ba4", "#008300", "#4a3aa7", "#e34948",
-}
 
 type utilLine struct {
 	name   string
@@ -37,7 +15,8 @@ type utilLine struct {
 
 // utilSVG renders a Figure-10-style CPU-utilization-versus-time chart: one
 // line per host CPU by default, every node CPU with all set (capped at
-// len(seriesColors) series).
+// len(plot.SeriesColors) series). Geometry, palette, and the shared frame
+// come from internal/plot.
 func utilSVG(rep *telemetry.RunReport, all bool) (string, error) {
 	var lines []utilLine
 	dropped := 0
@@ -48,7 +27,7 @@ func utilSVG(rep *telemetry.RunReport, all bool) (string, error) {
 		if !all && n.Kind != "host" {
 			continue
 		}
-		if len(lines) == len(seriesColors) {
+		if len(lines) == len(plot.SeriesColors) {
 			dropped++
 			continue
 		}
@@ -67,79 +46,64 @@ func utilSVG(rep *telemetry.RunReport, all bool) (string, error) {
 	if maxT <= 0 {
 		maxT = 1
 	}
-	plotW := float64(svgW - padL - padR)
-	plotH := float64(svgH - padT - padB)
-	x := func(t float64) float64 { return float64(padL) + t/maxT*plotW }
-	y := func(u float64) float64 { return float64(padT) + (1-u)*plotH }
+	plotW := float64(plot.W - plot.PadL - plot.PadR)
+	plotH := float64(plot.H - plot.PadT - plot.PadB)
+	x := func(t float64) float64 { return float64(plot.PadL) + t/maxT*plotW }
+	y := func(u float64) float64 { return float64(plot.PadT) + (1-u)*plotH }
 
 	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`+"\n",
-		svgW, svgH, svgW, svgH)
-	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", svgW, svgH, inkSurface)
-	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" fill="%s">CPU utilization vs time — run %q</text>`+"\n",
-		padL, inkPrimary, rep.Name)
+	plot.Open(&b, plot.W, plot.H)
+	plot.Title(&b, fmt.Sprintf("CPU utilization vs time — run %q", rep.Name))
 
 	// Horizontal grid at 25% steps; labels on the single y axis.
 	for i := 0; i <= 4; i++ {
 		u := float64(i) / 4
 		yy := y(u)
 		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
-			padL, yy, svgW-padR, yy, inkGrid)
+			plot.PadL, yy, plot.W-plot.PadR, yy, plot.InkGrid)
 		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%.0f%%</text>`+"\n",
-			padL-8, yy+4, inkMuted, u*100)
+			plot.PadL-8, yy+4, plot.InkMuted, u*100)
 	}
 	// Baseline and x-axis ticks.
 	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
-		padL, y(0), svgW-padR, y(0), inkBaseline)
+		plot.PadL, y(0), plot.W-plot.PadR, y(0), plot.InkBaseline)
 	for i := 0; i <= 6; i++ {
 		t := maxT * float64(i) / 6
 		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%.1fs</text>`+"\n",
-			x(t), svgH-padB+18, inkMuted, t)
+			x(t), plot.H-plot.PadB+18, plot.InkMuted, t)
 	}
 	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">virtual time</text>`+"\n",
-		svgW-padR-70, svgH-padB+34, inkSecond)
+		plot.W-plot.PadR-70, plot.H-plot.PadB+34, plot.InkSecond)
 
 	// Series: 2px lines, one categorical slot each, in node order.
 	for i, l := range lines {
-		color := seriesColors[i]
+		color := plot.SeriesColors[i]
 		var pts []string
 		for j := range l.series.TS {
-			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(l.series.TS[j]), y(clamp01(l.series.Util[j]))))
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(l.series.TS[j]), y(plot.Clamp01(l.series.Util[j]))))
 		}
 		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
 			strings.Join(pts, " "), color)
 		// Direct label at the line's end; the colored mark carries
 		// identity, the text stays in ink.
 		lastX := x(l.series.TS[len(l.series.TS)-1])
-		lastY := y(clamp01(l.series.Util[len(l.series.Util)-1]))
+		lastY := y(plot.Clamp01(l.series.Util[len(l.series.Util)-1]))
 		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", lastX, lastY, color)
 		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
-			lastX+7, lastY+4, inkSecond, l.name)
+			lastX+7, lastY+4, plot.InkSecond, l.name)
 	}
 
 	// Legend (always present for >= 2 series).
 	if len(lines) >= 2 {
-		lx, ly := svgW-padR+14, padT+6
+		lx, ly := plot.W-plot.PadR+14, plot.PadT+6
 		for i, l := range lines {
-			yy := ly + i*18
-			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="3" fill="%s"/>`+"\n", lx, yy, seriesColors[i])
-			fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n", lx+18, yy+5, inkSecond, l.name)
+			plot.LegendLine(&b, lx, ly+i*18, plot.SeriesColors[i], l.name)
 		}
 	}
 	if dropped > 0 {
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%d more series not shown (8-series cap)</text>`+"\n",
-			padL, svgH-6, inkSecond, dropped)
+			plot.PadL, plot.H-6, plot.InkSecond, dropped)
 	}
-	b.WriteString("</svg>\n")
+	plot.Close(&b)
 	return b.String(), nil
-}
-
-func clamp01(v float64) float64 {
-	if v < 0 {
-		return 0
-	}
-	if v > 1 {
-		return 1
-	}
-	return v
 }

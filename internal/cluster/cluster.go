@@ -20,6 +20,7 @@ import (
 	"lmas/internal/disk"
 	"lmas/internal/metrics"
 	"lmas/internal/netsim"
+	"lmas/internal/recorder"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
 	"lmas/internal/trace"
@@ -308,6 +309,14 @@ type Cluster struct {
 	// means attribution is off and instrumented code pays one pointer
 	// check. Set via AttachProfiler.
 	Profiler *critpath.Profiler
+
+	// Recorder is the run's record stream; nil (the default) means the run
+	// is not being recorded. Set via AttachRecorder (sampler.go).
+	Recorder recorder.Recorder
+
+	samplers    []*clusterSampler
+	queueProbes []queueProbe
+	wantProbes  bool
 }
 
 // New builds a cluster on a fresh simulator. It panics if p is invalid; use
@@ -452,13 +461,12 @@ func (c *Cluster) AttachProfiler(pf *critpath.Profiler) {
 	c.Sim.SetProfiler(pf)
 }
 
-// BuildReport snapshots the cluster's configuration, per-node utilization
-// traces, and (when telemetry is attached) every registered instrument and
-// the decision audit log into a RunReport.
-func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *telemetry.RunReport {
+// Config snapshots the cluster's parameters in report form. It is the same
+// value BuildReport stamps on the report, exposed separately so a run
+// recorder can hash and store the configuration before the run starts.
+func (c *Cluster) Config() telemetry.ClusterConfig {
 	p := c.Params
-	rep := telemetry.NewRunReport(name, seed, elapsed)
-	rep.Config = telemetry.ClusterConfig{
+	return telemetry.ClusterConfig{
 		Hosts:         p.Hosts,
 		ASUs:          p.ASUs,
 		C:             p.C,
@@ -469,6 +477,14 @@ func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *te
 		NetLatencyUs:  p.NetLatency.Seconds() * 1e6,
 		RecordSize:    p.RecordSize,
 	}
+}
+
+// BuildReport snapshots the cluster's configuration, per-node utilization
+// traces, and (when telemetry is attached) every registered instrument and
+// the decision audit log into a RunReport.
+func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *telemetry.RunReport {
+	rep := telemetry.NewRunReport(name, seed, elapsed)
+	rep.Config = c.Config()
 	for _, n := range c.Nodes() {
 		rep.Nodes = append(rep.Nodes, telemetry.NodeReport{
 			Name:      n.Name,

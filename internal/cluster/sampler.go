@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"lmas/internal/recorder"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
+)
+
+// This file wires the run-record layer into the cluster: a daemon proc per
+// attachment wakes on a virtual-time interval and snapshots per-node busy
+// time and registered queue probes. Daemons never extend a run (Sim.Run ends
+// when the last workload event dispatches; see sim daemon support), and the
+// snapshot only reads state the simulation already computes, so attaching a
+// recorder or periodic gauges keeps virtual time byte-identical.
+
+// queueProbe reads one queue's instantaneous depth and high-water mark.
+type queueProbe struct {
+	name  string
+	probe func() (depth, high int)
+}
+
+// RegisterQueueProbe registers a queue for periodic sampling. Pipelines
+// register their queues at construction time when WantsQueueProbes reports
+// true; registration order fixes the sample order, so it is deterministic
+// for a given workload.
+func (c *Cluster) RegisterQueueProbe(name string, probe func() (depth, high int)) {
+	c.queueProbes = append(c.queueProbes, queueProbe{name: name, probe: probe})
+}
+
+// WantsQueueProbes reports whether a sampler is attached, i.e. whether
+// pipelines should bother registering queue probes.
+func (c *Cluster) WantsQueueProbes() bool { return c.wantProbes }
+
+// AttachRecorder streams the run into rec: one Sample per interval (0 means
+// 100ms of virtual time) with per-node utilization and queue depths, plus
+// every load-manager decision as it is logged. Attach after AttachTelemetry
+// (the sampler reads the utilization traces telemetry installs) and before
+// spawning workload procs. Call FinishSampling after Sim.Run and before
+// BuildReport; the harness passes the finished report to rec.Finish itself.
+func (c *Cluster) AttachRecorder(rec recorder.Recorder, every sim.Duration) {
+	if rec == nil {
+		return
+	}
+	if every <= 0 {
+		every = 100 * sim.Millisecond
+	}
+	c.Recorder = rec
+	c.wantProbes = true
+	c.Telemetry.SetOnDecide(func(d telemetry.Decision) {
+		ev := recorder.Event{T: d.T, Kind: "decision", Source: d.Source, Action: d.Action, Detail: d.Detail}
+		if len(d.Readings) > 0 {
+			ev.Fields = make(map[string]float64, len(d.Readings))
+			for _, rd := range d.Readings {
+				ev.Fields[rd.Key] = rd.Value
+			}
+		}
+		rec.Event(ev)
+	})
+	c.startSampler("recorder.sampler", every, rec, false)
+}
+
+// AttachPeriodicGauges additionally emits the periodic observations as
+// telemetry gauges — node.<name>.cpu.busy_sec (cumulative completed busy
+// time) and queue.<name>.depth / .high_water — so they land in the
+// RunReport. Off by default: it grows the report, so runs without it stay
+// byte-identical to the committed baselines. Requires AttachTelemetry.
+func (c *Cluster) AttachPeriodicGauges(every sim.Duration) {
+	if every <= 0 || c.Telemetry == nil {
+		return
+	}
+	c.wantProbes = true
+	c.startSampler("gauge.sampler", every, nil, true)
+}
+
+// FinishSampling flushes one final observation at the run's end instant and
+// kills the sampler daemons (so sweep cells never leak parked goroutines).
+// Call after Sim.Run returns and before BuildReport. Safe when no sampler is
+// attached.
+func (c *Cluster) FinishSampling() {
+	now := c.Sim.Now()
+	for _, s := range c.samplers {
+		if now > s.prevT {
+			s.tick(now)
+		}
+		c.Sim.Kill(s.proc)
+	}
+	c.samplers = nil
+	c.queueProbes = nil
+	c.wantProbes = false
+	if c.Recorder != nil {
+		c.Telemetry.SetOnDecide(nil)
+	}
+}
+
+type clusterSampler struct {
+	c      *Cluster
+	every  sim.Duration
+	rec    recorder.Recorder // nil: gauges only
+	gauges bool
+	proc   *sim.Proc
+	// prev holds each node's cumulative (cpu, disk, nic) busy time at the
+	// previous tick; interval utilization is the delta over the elapsed
+	// interval.
+	prev  [][3]sim.Duration
+	prevT sim.Time
+}
+
+func (c *Cluster) startSampler(name string, every sim.Duration, rec recorder.Recorder, gauges bool) {
+	s := &clusterSampler{
+		c: c, every: every, rec: rec, gauges: gauges,
+		prev: make([][3]sim.Duration, len(c.Hosts)+len(c.ASUs)),
+	}
+	s.proc = c.Sim.SpawnDaemon(name, func(p *sim.Proc) {
+		for {
+			p.Sleep(every)
+			s.tick(p.Now())
+		}
+	})
+	c.samplers = append(c.samplers, s)
+}
+
+// tick snapshots the cluster at virtual instant now. Utilization is derived
+// from completed resource holds (a hold still in progress shows up when it
+// ends), so a long hold completing within one interval can push the raw
+// ratio past 1; it is clamped for display. The cumulative busy counter is
+// exact and monotone — that is the reconcilable metric.
+func (s *clusterSampler) tick(now sim.Time) {
+	c := s.c
+	dt := float64(now - s.prevT)
+	var nodes []recorder.NodeSample
+	for i, n := range c.Nodes() {
+		busy := [3]sim.Duration{
+			n.CPUTrace.TotalBusy(),
+			n.DiskTrace.TotalBusy(),
+			n.NICTrace.TotalBusy(),
+		}
+		if s.rec != nil {
+			ns := recorder.NodeSample{Node: n.Name, CPUBusy: busy[0].Seconds()}
+			if dt > 0 {
+				ns.CPU = clamp01(float64(busy[0]-s.prev[i][0]) / dt)
+				ns.Disk = clamp01(float64(busy[1]-s.prev[i][1]) / dt)
+				ns.NIC = clamp01(float64(busy[2]-s.prev[i][2]) / dt)
+			}
+			nodes = append(nodes, ns)
+		}
+		if s.gauges {
+			c.Telemetry.Gauge("node."+n.Name+".cpu.busy_sec").Set(now, busy[0].Seconds())
+		}
+		s.prev[i] = busy
+	}
+	var queues []recorder.QueueSample
+	for _, qp := range c.queueProbes {
+		depth, high := qp.probe()
+		if s.rec != nil {
+			queues = append(queues, recorder.QueueSample{Queue: qp.name, Depth: depth, High: high})
+		}
+		if s.gauges {
+			c.Telemetry.Gauge("queue."+qp.name+".depth").Set(now, float64(depth))
+			c.Telemetry.Gauge("queue."+qp.name+".high_water").Set(now, float64(high))
+		}
+	}
+	s.prevT = now
+	if s.rec != nil {
+		s.rec.Sample(recorder.Sample{T: int64(now), Nodes: nodes, Queues: queues})
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

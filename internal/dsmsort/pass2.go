@@ -233,6 +233,17 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 	res := &MergeResult{}
 	hostN := len(cl.Hosts)
 	d := len(cl.ASUs)
+	// registerQueueProbe exposes a merge-phase queue to the cluster's
+	// periodic sampler (recorder / gauge daemons); inert when none attached.
+	registerQueueProbe := func(q *sim.Queue[container.Packet]) {
+		if !cl.WantsQueueProbes() {
+			return
+		}
+		cl.RegisterQueueProbe(q.Name(), func() (int, int) {
+			_, high := q.WaitStats()
+			return q.Len(), high
+		})
+	}
 
 	// Output collectors: one proc per ASU draining an inbox of final
 	// packets, charging ASU touch (packet reassembly) plus disk write.
@@ -241,6 +252,7 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 	for i, asu := range cl.ASUs {
 		i, asu := i, asu
 		collectors[i] = sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("out.collect%d", i), 8)
+		registerQueueProbe(collectors[i])
 		collectProc := cl.Sim.SpawnOn(asu.Part, fmt.Sprintf("collect@asu%d", i), func(p *sim.Proc) {
 			pf.Bind(p, "merge.collect", asu.Name, critpath.ClassASUCPU, critpath.ClassASUCPU)
 			touch := cl.Touch(asu)
@@ -283,6 +295,7 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 				continue
 			}
 			q := sim.NewQueue[container.Packet](cl.Sim, fmt.Sprintf("merge.b%d.asu%d", b, asuIdx), 4)
+			registerQueueProbe(q)
 			queues = append(queues, q)
 			asu := cl.ASUs[asuIdx]
 			srcs = append(srcs, asu)

@@ -8,6 +8,7 @@ import (
 	"lmas/internal/dsmsort"
 	"lmas/internal/loadmgr"
 	"lmas/internal/metrics"
+	"lmas/internal/recorder"
 	"lmas/internal/records"
 	"lmas/internal/route"
 	"lmas/internal/sim"
@@ -41,6 +42,11 @@ type Fig10Options struct {
 	// latency-attribution sections (with Pass1Model predictions) to their
 	// reports.
 	Critpath bool
+	// Record streams both runs into a recorder sink; Experiment and
+	// SampleEvery follow SortRunSpec's semantics.
+	Record      recorder.Sink
+	Experiment  string
+	SampleEvery sim.Duration
 }
 
 // DefaultFig10Options mirrors the paper's setup: two hosts, 16 ASUs. The
@@ -133,6 +139,29 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		if opt.Critpath {
 			cl.AttachProfiler(critpath.New())
 		}
+		workload := map[string]any{
+			"program": "dsmsort-pass1",
+			"n":       opt.N,
+			"alpha":   opt.Alpha,
+			"beta":    opt.Beta,
+			"packet":  opt.PacketRecords,
+			"policy":  name,
+			"dist":    "halves",
+		}
+		var rec recorder.Recorder
+		if opt.Record != nil {
+			rec = opt.Record.NewRun()
+			cfg := cl.Config()
+			rec.Begin(&recorder.Header{
+				Experiment: opt.Experiment,
+				Name:       "fig10-" + name,
+				ConfigHash: recorder.ConfigHash(cfg, workload, opt.Seed),
+				Seed:       opt.Seed,
+				Config:     cfg,
+				Workload:   workload,
+			})
+			cl.AttachRecorder(rec, opt.SampleEvery)
+		}
 		in := dsmsort.MakeInputHalves(cl, opt.N, records.Uniform{},
 			records.Exponential{Mean: opt.SkewMean}, opt.Seed, opt.PacketRecords)
 		cfg := dsmsort.Config{
@@ -146,8 +175,13 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		}
 		_, r, err := dsmsort.RunFormation(cl, cfg, in)
 		if err != nil {
+			if rec != nil {
+				cl.FinishSampling()
+				rec.Finish(nil)
+			}
 			return Fig10Run{}, fmt.Errorf("fig10 %s: %w", name, err)
 		}
+		cl.FinishSampling()
 		run := Fig10Run{Policy: name, Elapsed: r.Elapsed}
 		for _, h := range cl.Hosts {
 			run.HostUtil = append(run.HostUtil, h.CPUTrace)
@@ -155,20 +189,15 @@ func RunFig10(opt Fig10Options) (*Fig10Result, error) {
 		n := int(r.Elapsed / sim.Duration(opt.Window))
 		run.Imbalance = loadmgr.Imbalance(run.HostUtil, n)
 		run.Report = cl.BuildReport("fig10-"+name, opt.Seed, r.Elapsed)
-		run.Report.Workload = map[string]any{
-			"program": "dsmsort-pass1",
-			"n":       opt.N,
-			"alpha":   opt.Alpha,
-			"beta":    opt.Beta,
-			"packet":  opt.PacketRecords,
-			"policy":  name,
-			"dist":    "halves",
-		}
+		run.Report.Workload = workload
 		if run.Report.Critpath != nil {
 			if rates, ok := PredictRates(params, dsmsort.Active, opt.Alpha, opt.Beta); ok {
 				cls, rate := rates.Bottleneck()
 				run.Report.Critpath.SetPrediction(cls, rate)
 			}
+		}
+		if rec != nil {
+			rec.Finish(run.Report)
 		}
 		return run, nil
 	}

@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"lmas/internal/dsmsort"
+	"lmas/internal/recorder"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
+)
+
+// recordSpec is a small cell used by the recording tests: big enough to
+// produce several sampling intervals, small enough to keep the suite fast.
+func recordSpec(name string) SortRunSpec {
+	return SortRunSpec{
+		Name:          name,
+		N:             1 << 12,
+		Hosts:         1,
+		ASUs:          2,
+		C:             8,
+		Alpha:         4,
+		Beta:          256,
+		Gamma2:        4,
+		PacketRecords: 64,
+		Placement:     dsmsort.Active,
+		Policy:        "static",
+		Dist:          "uniform",
+		Seed:          42,
+	}
+}
+
+// TestRecordingNeutrality pins the acceptance criterion: attaching a
+// recorder (store and live dashboard together) must leave the RunReport
+// byte-identical to an unrecorded run. The recorder is a pure observer of
+// the virtual-time trajectory.
+func TestRecordingNeutrality(t *testing.T) {
+	plain, _, err := RunSortReport(recordSpec("cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := recorder.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := recorder.NewLive()
+	spec := recordSpec("cell")
+	spec.Record = recorder.Multi{st, live}
+	spec.Experiment = "neutrality"
+	spec.SampleEvery = 2 * sim.Millisecond
+	recorded, _, err := RunSortReport(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("recording changed the report bytes:\nplain:    %s\nrecorded: %s", a, b)
+	}
+
+	// The observer did observe: the stored segment holds periodic samples,
+	// load-manager-style decision events (if any fired), and the finished
+	// report, reloadable byte-for-byte.
+	runs, err := st.Select("neutrality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("store has %d runs, want 1", len(runs))
+	}
+	if n := len(runs[0].Samples()); n < 2 {
+		t.Fatalf("stored run has %d samples, want >= 2 (sampler never ticked?)", n)
+	}
+	stored := runs[0].Report()
+	if stored == nil {
+		t.Fatal("stored run has no finish report")
+	}
+	c, err := json.Marshal(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != string(a) {
+		t.Fatal("report reloaded from the store differs from the original")
+	}
+}
+
+// TestPeriodicGaugeReconciliation pins the gauge sampler's contract: the
+// per-interval node.<n>.cpu.busy_sec samples are cumulative and monotone,
+// and the final sample reconciles with the report's own utilization series —
+// the integral of util over the windows equals the last cumulative busy
+// reading. Queue depth never exceeds its high-water mark.
+func TestPeriodicGaugeReconciliation(t *testing.T) {
+	spec := recordSpec("cell")
+	spec.GaugeInterval = 2 * sim.Millisecond
+	rep, _, err := RunSortReport(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gauges := map[string]telemetry.GaugeReport{}
+	for _, g := range rep.Gauges {
+		gauges[g.Name] = g
+	}
+
+	for _, node := range rep.Nodes {
+		g, ok := gauges["node."+node.Name+".cpu.busy_sec"]
+		if !ok {
+			t.Fatalf("no periodic busy gauge for node %s", node.Name)
+		}
+		if len(g.Samples) < 2 {
+			t.Fatalf("node %s: %d busy samples, want >= 2", node.Name, len(g.Samples))
+		}
+		for i := 1; i < len(g.Samples); i++ {
+			if g.Samples[i].V < g.Samples[i-1].V {
+				t.Fatalf("node %s: cumulative busy_sec not monotone at sample %d: %v -> %v",
+					node.Name, i, g.Samples[i-1].V, g.Samples[i].V)
+			}
+		}
+		if node.CPU == nil {
+			continue
+		}
+		// Integral of the utilization series: util[i] * observed window width.
+		var busy float64
+		for i, u := range node.CPU.Util {
+			winStart := float64(i) * node.CPU.WindowSec
+			busy += u * (node.CPU.TS[i] - winStart)
+		}
+		final := g.Samples[len(g.Samples)-1].V
+		if math.Abs(busy-final) > 1e-3 {
+			t.Fatalf("node %s: util-series integral %.6f vs final busy_sec sample %.6f",
+				node.Name, busy, final)
+		}
+	}
+
+	sawQueue := false
+	for name, g := range gauges {
+		if !strings.HasPrefix(name, "queue.") || !strings.HasSuffix(name, ".depth") {
+			continue
+		}
+		sawQueue = true
+		// The high-water series holds the periodic samples plus possibly one
+		// final value from the end-of-run telemetry flush; the periodic
+		// prefix aligns index-for-index with the depth series.
+		high := gauges[strings.TrimSuffix(name, ".depth")+".high_water"]
+		if len(high.Samples) < len(g.Samples) {
+			t.Fatalf("%s: %d depth vs %d high-water samples", name, len(g.Samples), len(high.Samples))
+		}
+		for i := range g.Samples {
+			if g.Samples[i].V > high.Samples[i].V {
+				t.Fatalf("%s sample %d: depth %v exceeds high water %v",
+					name, i, g.Samples[i].V, high.Samples[i].V)
+			}
+		}
+		for i := 1; i < len(high.Samples); i++ {
+			if high.Samples[i].V < high.Samples[i-1].V {
+				t.Fatalf("%s: high water not monotone at sample %d", name, i)
+			}
+		}
+	}
+	if !sawQueue {
+		t.Fatal("no queue.*.depth gauges in the report — queue probes never registered")
+	}
+
+	// Off by default: the same spec without GaugeInterval has none of these.
+	plain, _, err := RunSortReport(recordSpec("cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (queue.*.high_water / .wait_sec exist in the baseline too — the final
+	// telemetry flush writes them — so only the sampler-specific series count.)
+	for _, g := range plain.Gauges {
+		if strings.HasPrefix(g.Name, "node.") || strings.HasSuffix(g.Name, ".depth") {
+			t.Fatalf("gauge %q present without GaugeInterval", g.Name)
+		}
+	}
+}
+
+// TestStoreDeterminism records the same cell twice into fresh stores and
+// compares the segments below the header line byte for byte. Run IDs and
+// wall-clock fields live only in the header, so everything under it is a
+// pure function of the virtual-time run.
+func TestStoreDeterminism(t *testing.T) {
+	segment := func() []byte {
+		t.Helper()
+		dir := t.TempDir()
+		st, err := recorder.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := recordSpec("cell")
+		spec.Record = st
+		spec.Experiment = "det"
+		spec.SampleEvery = 2 * sim.Millisecond
+		if _, _, err := RunSortReport(spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+		runs, err := st.Runs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 1 {
+			t.Fatalf("%d segments, want 1", len(runs))
+		}
+		b, err := os.ReadFile(runs[0].Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			t.Fatalf("segment has no header line")
+		}
+		return b[i+1:]
+	}
+	a, b := segment(), segment()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("segments differ below the header (len %d vs %d)", len(a), len(b))
+	}
+}
+
+// TestConcurrentRecording exercises shared store + live sinks from parallel
+// sweep cells — the configuration `lmasreport bench -record -serve` runs —
+// so `go test -race` covers the cross-goroutine recorder paths.
+func TestConcurrentRecording(t *testing.T) {
+	st, err := recorder.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := recorder.NewLive()
+	sink := recorder.Multi{st, live}
+
+	const cells = 3
+	var wg sync.WaitGroup
+	errs := make([]error, cells)
+	for i := 0; i < cells; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := recordSpec(fmt.Sprintf("cell-%d", i))
+			spec.Record = sink
+			spec.Experiment = "race"
+			spec.SampleEvery = 2 * sim.Millisecond
+			_, _, errs[i] = RunSortReport(spec)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := st.Select("race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != cells {
+		t.Fatalf("store has %d runs, want %d", len(runs), cells)
+	}
+	for _, run := range runs {
+		if run.Report() == nil {
+			t.Fatalf("run %s has no finish report", run.Header.RunID)
+		}
+	}
+}

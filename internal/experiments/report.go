@@ -7,6 +7,7 @@ import (
 	"lmas/internal/critpath"
 	"lmas/internal/dsmsort"
 	"lmas/internal/loadmgr"
+	"lmas/internal/recorder"
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
@@ -36,6 +37,21 @@ type SortRunSpec struct {
 	// is deliberately absent from the Workload map.
 	Engine        string
 	EngineWorkers int
+	// Record, when non-nil, streams the run into a recorder sink (store
+	// and/or live dashboard): header at start, periodic samples and
+	// decisions during the run, the finished report at the end. Recording
+	// is a pure observer — the report's bytes are identical with or
+	// without it.
+	Record recorder.Sink
+	// Experiment labels the run's store segment ("" = "adhoc").
+	Experiment string
+	// SampleEvery is the recorder's virtual-time sampling interval
+	// (0 = 100ms). Only meaningful with Record set.
+	SampleEvery sim.Duration
+	// GaugeInterval, when positive, additionally emits the periodic
+	// observations as report gauges (node.*.cpu.busy_sec, queue.*.depth /
+	// .high_water). Off by default so baseline reports are unchanged.
+	GaugeInterval sim.Duration
 }
 
 // RunSortReport executes spec with telemetry attached and returns the run
@@ -53,6 +69,34 @@ func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, err
 	cl.AttachTelemetry(telemetry.NewRegistry(), spec.UtilWindow)
 	if spec.Critpath {
 		cl.AttachProfiler(critpath.New())
+	}
+	workload := map[string]any{
+		"program":   "dsmsort",
+		"n":         spec.N,
+		"alpha":     spec.Alpha,
+		"beta":      spec.Beta,
+		"gamma2":    spec.Gamma2,
+		"packet":    spec.PacketRecords,
+		"placement": spec.Placement.String(),
+		"policy":    spec.Policy,
+		"dist":      spec.Dist,
+	}
+	var rec recorder.Recorder
+	if spec.Record != nil {
+		rec = spec.Record.NewRun()
+		cfg := cl.Config()
+		rec.Begin(&recorder.Header{
+			Experiment: spec.Experiment,
+			Name:       spec.Name,
+			ConfigHash: recorder.ConfigHash(cfg, workload, spec.Seed),
+			Seed:       spec.Seed,
+			Config:     cfg,
+			Workload:   workload,
+		})
+		cl.AttachRecorder(rec, spec.SampleEvery)
+	}
+	if spec.GaugeInterval > 0 {
+		cl.AttachPeriodicGauges(spec.GaugeInterval)
 	}
 
 	in, err := dsmsort.MakeInputNamed(cl, spec.N, spec.Dist, spec.Seed, spec.PacketRecords)
@@ -74,25 +118,23 @@ func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, err
 	}
 	res, err := dsmsort.Sort(cl, cfg, in)
 	if err != nil {
+		if rec != nil {
+			cl.FinishSampling()
+			rec.Finish(nil)
+		}
 		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	cl.FinishSampling()
 	rep := cl.BuildReport(spec.Name, spec.Seed, res.Elapsed)
-	rep.Workload = map[string]any{
-		"program":   "dsmsort",
-		"n":         spec.N,
-		"alpha":     spec.Alpha,
-		"beta":      spec.Beta,
-		"gamma2":    spec.Gamma2,
-		"packet":    spec.PacketRecords,
-		"placement": spec.Placement.String(),
-		"policy":    spec.Policy,
-		"dist":      spec.Dist,
-	}
+	rep.Workload = workload
 	if rep.Critpath != nil {
 		if rates, ok := PredictRates(params, spec.Placement, spec.Alpha, spec.Beta); ok {
 			cls, rate := rates.Bottleneck()
 			rep.Critpath.SetPrediction(cls, rate)
 		}
+	}
+	if rec != nil {
+		rec.Finish(rep)
 	}
 	return rep, res, nil
 }
@@ -168,11 +210,39 @@ func RunBench(quick bool, seed int64, jobs int, progress func(spec SortRunSpec))
 // clock — the trajectory bytes are identical for every engine and worker
 // count, which is exactly what the differential tests pin.
 func RunBenchEngine(quick bool, seed int64, jobs int, engine string, workers int, progress func(spec SortRunSpec)) (*telemetry.Trajectory, error) {
+	return RunBenchWith(BenchOptions{
+		Quick: quick, Seed: seed, Jobs: jobs,
+		Engine: engine, EngineWorkers: workers, Progress: progress,
+	})
+}
+
+// BenchOptions parameterizes a bench-matrix execution.
+type BenchOptions struct {
+	Quick         bool
+	Seed          int64
+	Jobs          int
+	Engine        string
+	EngineWorkers int
+	// Record streams every cell into the sink (each cell is its own run);
+	// Experiment and SampleEvery are passed through to the cells' specs.
+	Record      recorder.Sink
+	Experiment  string
+	SampleEvery sim.Duration
+	Progress    func(spec SortRunSpec)
+}
+
+// RunBenchWith executes the bench matrix under opt. Recording never changes
+// the trajectory's bytes.
+func RunBenchWith(opt BenchOptions) (*telemetry.Trajectory, error) {
+	quick, progress := opt.Quick, opt.Progress
 	tr := &telemetry.Trajectory{Schema: telemetry.TrajectorySchema, Quick: quick}
-	specs := BenchMatrix(quick, seed)
+	specs := BenchMatrix(quick, opt.Seed)
 	for i := range specs {
-		specs[i].Engine = engine
-		specs[i].EngineWorkers = workers
+		specs[i].Engine = opt.Engine
+		specs[i].EngineWorkers = opt.EngineWorkers
+		specs[i].Record = opt.Record
+		specs[i].Experiment = opt.Experiment
+		specs[i].SampleEvery = opt.SampleEvery
 	}
 	if progress != nil {
 		for _, spec := range specs {
@@ -180,7 +250,7 @@ func RunBenchEngine(quick bool, seed int64, jobs int, engine string, workers int
 		}
 	}
 	reps := make([]*telemetry.RunReport, len(specs))
-	err := runCells(len(specs), jobs, func(i int) error {
+	err := runCells(len(specs), opt.Jobs, func(i int) error {
 		rep, _, err := RunSortReport(specs[i])
 		reps[i] = rep
 		return err

@@ -312,6 +312,13 @@ func (p *Pipeline) Start() {
 				In:    sim.NewQueue[container.Packet](p.cl.Sim, fmt.Sprintf("%s#%d.in", st.Name, i), cap),
 			}
 			inst.kernel = st.NewKernel()
+			if p.cl.WantsQueueProbes() {
+				q := inst.In
+				p.cl.RegisterQueueProbe(q.Name(), func() (int, int) {
+					_, high := q.WaitStats()
+					return q.Len(), high
+				})
+			}
 			// ASUs are shared infrastructure: only prevalidated
 			// kernels may run there (Section 3.1's constraint, and
 			// the basis for the isolation guarantees).

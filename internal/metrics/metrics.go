@@ -70,6 +70,21 @@ func (u *UtilTrace) RecordBusy(from, to sim.Time) {
 // Len reports the number of windows with any recorded activity span.
 func (u *UtilTrace) Len() int { return len(u.buckets) }
 
+// TotalBusy reports the cumulative busy time recorded so far: the sum of
+// every completed hold the trace has seen. Holds still in progress are not
+// included (RecordBusy fires when a hold ends), matching the trace's own
+// windowed view. Nil-safe: a nil trace reports zero.
+func (u *UtilTrace) TotalBusy() sim.Duration {
+	if u == nil {
+		return 0
+	}
+	var total sim.Duration
+	for _, b := range u.buckets {
+		total += b
+	}
+	return total
+}
+
 // End reports the end of the latest recorded busy interval — the instant the
 // trace is considered observed up to.
 func (u *UtilTrace) End() sim.Time { return u.last }

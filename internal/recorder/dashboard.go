@@ -1,0 +1,159 @@
+package recorder
+
+import (
+	"encoding/json"
+	"strings"
+
+	"lmas/internal/plot"
+)
+
+// dashboardPage is the single-page monitoring UI with the shared plot
+// palette injected, so the live strips use the same categorical colors as
+// the SVG charts.
+var dashboardPage = func() string {
+	palette, _ := json.Marshal(plot.SeriesColors)
+	return strings.Replace(dashboardSrc, "/*PALETTE*/", string(palette), 1)
+}()
+
+const dashboardSrc = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>lmas monitor</title>
+<style>
+  body { font-family: system-ui, -apple-system, 'Segoe UI', sans-serif;
+         background: #fcfcfb; color: #0b0b0b; margin: 0; padding: 20px 28px; }
+  h1 { font-size: 17px; margin: 0 0 4px 0; }
+  #progress { color: #52514e; font-size: 13px; margin-bottom: 16px; }
+  .run { border: 1px solid #e1e0d9; border-radius: 6px; background: #fff;
+         padding: 12px 16px; margin-bottom: 14px; }
+  .run h2 { font-size: 14px; margin: 0 0 2px 0; }
+  .meta { color: #898781; font-size: 11px; margin-bottom: 8px; }
+  .status-running { color: #2a78d6; } .status-done { color: #1baf7a; }
+  table { border-collapse: collapse; font-size: 12px; margin: 6px 0; }
+  td, th { padding: 2px 10px 2px 0; text-align: left; color: #52514e; }
+  th { color: #898781; font-weight: normal; }
+  .strip { display: inline-block; width: 180px; height: 10px;
+           background: #e1e0d9; border-radius: 2px; vertical-align: middle; }
+  .strip i { display: block; height: 100%; border-radius: 2px; }
+  .pct { display: inline-block; width: 42px; font-size: 11px; color: #898781; }
+  .events { font-size: 11px; color: #52514e; margin-top: 6px;
+            max-height: 130px; overflow-y: auto; }
+  .events div { padding: 1px 0; }
+  .events .t { color: #898781; display: inline-block; width: 70px; }
+  .verdict { color: #eb6834; }
+</style>
+</head>
+<body>
+<h1>lmas monitor</h1>
+<div id="progress">waiting for runs&hellip;</div>
+<div id="runs"></div>
+<script>
+"use strict";
+const PALETTE = /*PALETTE*/;
+let state = { runs: [] };
+
+function byId(id) { return state.runs.find(r => r.header.run_id === id); }
+
+function bar(color, frac, label) {
+  const pct = Math.max(0, Math.min(1, frac)) * 100;
+  return '<span class="strip"><i style="width:' + pct.toFixed(1) +
+    '%;background:' + color + '"></i></span> <span class="pct">' +
+    pct.toFixed(0) + '% ' + label + '</span>';
+}
+
+function fmtT(ns) { return (ns / 1e9).toFixed(2) + 's'; }
+
+function render() {
+  const done = state.runs.filter(r => r.done).length;
+  document.getElementById('progress').textContent = state.runs.length === 0
+    ? 'waiting for runs…'
+    : done + ' / ' + state.runs.length + ' runs finished';
+  let html = '';
+  for (const run of state.runs) {
+    const h = run.header;
+    const status = run.done
+      ? '<span class="status-done">done' +
+        (run.runtime_sec ? ' · ' + run.runtime_sec.toFixed(3) + 's virtual' : '') + '</span>'
+      : '<span class="status-running">running</span>';
+    html += '<div class="run"><h2>' + h.name + ' — ' + status + '</h2>' +
+      '<div class="meta">' + h.run_id + ' · experiment ' + h.experiment +
+      ' · cfg ' + h.config_hash + ' · rev ' + h.git_rev +
+      ' · seed ' + h.seed + '</div>';
+    if (run.verdict)
+      html += '<div class="events"><div class="verdict">bottleneck: ' + run.verdict + '</div></div>';
+    const last = run.samples && run.samples.length
+      ? run.samples[run.samples.length - 1] : null;
+    if (last && last.nodes) {
+      html += '<table><tr><th>node</th><th>cpu</th><th>disk</th><th>nic</th>' +
+        '<th>busy (cum)</th></tr>';
+      last.nodes.forEach((n, i) => {
+        const c = PALETTE[i % PALETTE.length];
+        html += '<tr><td>' + n.node + '</td>' +
+          '<td>' + bar(c, n.cpu, '') + '</td>' +
+          '<td>' + bar(c, n.disk || 0, '') + '</td>' +
+          '<td>' + bar(c, n.nic || 0, '') + '</td>' +
+          '<td>' + n.cpu_busy_sec.toFixed(3) + 's</td></tr>';
+      });
+      html += '</table>';
+    }
+    if (last && last.queues && last.queues.length) {
+      html += '<table><tr><th>queue</th><th>depth</th><th>high-water</th></tr>';
+      for (const q of last.queues)
+        html += '<tr><td>' + q.queue + '</td><td>' + q.depth + '</td><td>' +
+          q.high_water + '</td></tr>';
+      html += '</table>';
+    }
+    if (run.events && run.events.length) {
+      html += '<div class="events">';
+      for (const e of run.events.slice(-12).reverse()) {
+        const cls = e.kind === 'verdict' ? ' class="verdict"' : '';
+        html += '<div' + cls + '><span class="t">' + fmtT(e.t_ns) + '</span>' +
+          e.kind + ' ' + (e.source || '') + ' ' + (e.action || '') +
+          (e.detail ? ' — ' + e.detail : '') + '</div>';
+      }
+      html += '</div>';
+    }
+    html += '</div>';
+  }
+  document.getElementById('runs').innerHTML = html;
+}
+
+let pending = false;
+function scheduleRender() {
+  if (pending) return;
+  pending = true;
+  requestAnimationFrame(() => { pending = false; render(); });
+}
+
+const es = new EventSource('/events');
+es.addEventListener('snapshot', ev => {
+  state = JSON.parse(ev.data);
+  if (!state.runs) state.runs = [];
+  scheduleRender();
+});
+es.onmessage = ev => {
+  const m = JSON.parse(ev.data);
+  if (m.type === 'begin') {
+    if (!byId(m.run_id)) state.runs.push({ header: m.header, samples: [], events: [], done: false });
+  } else {
+    const run = byId(m.run_id);
+    if (!run) return;
+    if (m.type === 'sample') {
+      run.samples.push(m.sample);
+      if (run.samples.length > 240) run.samples.shift();
+    } else if (m.type === 'event') {
+      run.events.push(m.event);
+      if (run.events.length > 64) run.events.shift();
+    } else if (m.type === 'finish') {
+      run.done = true;
+      run.runtime_sec = m.runtime_sec;
+      run.verdict = m.verdict;
+    }
+  }
+  scheduleRender();
+};
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,227 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"lmas/internal/telemetry"
+)
+
+// History caps for the live view: the dashboard only needs recent samples
+// for its strips and the latest events for its verdict stream; the store
+// backend keeps the complete record.
+const (
+	liveMaxSamples = 240
+	liveMaxEvents  = 64
+)
+
+// LiveRun is the dashboard-facing state of one run, JSON-shaped for the
+// /api/state snapshot and the SSE stream.
+type LiveRun struct {
+	Header     Header   `json:"header"`
+	Samples    []Sample `json:"samples,omitempty"`
+	Events     []Event  `json:"events,omitempty"`
+	Done       bool     `json:"done"`
+	RuntimeSec float64  `json:"runtime_sec,omitempty"`
+	Verdict    string   `json:"verdict,omitempty"`
+}
+
+// Live is the monitoring backend: runs stream their records in (possibly
+// from several sweep workers at once) and any number of browsers watch the
+// state over SSE. It holds a bounded in-memory view per run — no
+// persistence; pair it with a Store via Multi when both are wanted.
+type Live struct {
+	mu     sync.Mutex
+	runs   []*LiveRun
+	byID   map[string]*LiveRun
+	subs   map[chan []byte]struct{}
+	nextID int
+}
+
+// NewLive returns an empty live backend.
+func NewLive() *Live {
+	return &Live{
+		byID: make(map[string]*LiveRun),
+		subs: make(map[chan []byte]struct{}),
+	}
+}
+
+// NewRun opens a recorder streaming one run into the live view.
+func (l *Live) NewRun() Recorder { return &liveRec{l: l} }
+
+type liveRec struct {
+	l   *Live
+	run *LiveRun
+}
+
+func (r *liveRec) Begin(h *Header) {
+	l := r.l
+	l.mu.Lock()
+	if h.Schema == "" {
+		h.Schema = StoreSchema
+	}
+	if h.RunID == "" {
+		l.nextID++
+		h.RunID = fmt.Sprintf("live-%04d", l.nextID)
+	}
+	r.run = &LiveRun{Header: *h}
+	l.runs = append(l.runs, r.run)
+	l.byID[h.RunID] = r.run
+	l.broadcastLocked("begin", r.run.Header.RunID, map[string]any{"header": r.run.Header})
+	l.mu.Unlock()
+}
+
+func (r *liveRec) Sample(s Sample) {
+	if r.run == nil {
+		return
+	}
+	l := r.l
+	l.mu.Lock()
+	r.run.Samples = append(r.run.Samples, s)
+	if len(r.run.Samples) > liveMaxSamples {
+		r.run.Samples = r.run.Samples[len(r.run.Samples)-liveMaxSamples:]
+	}
+	l.broadcastLocked("sample", r.run.Header.RunID, map[string]any{"sample": s})
+	l.mu.Unlock()
+}
+
+func (r *liveRec) Event(e Event) {
+	if r.run == nil {
+		return
+	}
+	l := r.l
+	l.mu.Lock()
+	l.appendEventLocked(r.run, e)
+	l.mu.Unlock()
+}
+
+func (l *Live) appendEventLocked(run *LiveRun, e Event) {
+	run.Events = append(run.Events, e)
+	if len(run.Events) > liveMaxEvents {
+		run.Events = run.Events[len(run.Events)-liveMaxEvents:]
+	}
+	l.broadcastLocked("event", run.Header.RunID, map[string]any{"event": e})
+}
+
+func (r *liveRec) Finish(rep *telemetry.RunReport) {
+	if r.run == nil {
+		return
+	}
+	l := r.l
+	l.mu.Lock()
+	r.run.Done = true
+	if rep != nil {
+		r.run.RuntimeSec = rep.RuntimeSec
+		if cp := rep.Critpath; cp != nil {
+			v := cp.Verdict
+			r.run.Verdict = fmt.Sprintf("%s (%.1f%% of per-instance congestion)",
+				v.Observed, v.ObservedShare*100)
+			l.appendEventLocked(r.run, Event{
+				T:      rep.RuntimeNs,
+				Kind:   "verdict",
+				Source: "critpath",
+				Action: v.Observed,
+				Detail: r.run.Verdict,
+			})
+		}
+	}
+	l.broadcastLocked("finish", r.run.Header.RunID, map[string]any{
+		"runtime_sec": r.run.RuntimeSec,
+		"verdict":     r.run.Verdict,
+	})
+	l.mu.Unlock()
+}
+
+// broadcastLocked fans one SSE message out to every subscriber; slow
+// subscribers drop messages (they resync from the snapshot on reconnect).
+// Callers hold l.mu.
+func (l *Live) broadcastLocked(typ, runID string, payload map[string]any) {
+	if len(l.subs) == 0 {
+		return
+	}
+	msg := map[string]any{"type": typ, "run_id": runID}
+	for k, v := range payload {
+		msg[k] = v
+	}
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	for ch := range l.subs {
+		select {
+		case ch <- b:
+		default:
+		}
+	}
+}
+
+// snapshot marshals the full state under the lock, so readers never race
+// recorders.
+func (l *Live) snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, err := json.Marshal(map[string]any{"runs": l.runs})
+	if err != nil {
+		return []byte(`{"runs":[]}`)
+	}
+	return b
+}
+
+// Handler serves the monitoring UI:
+//
+//	/           the single-page dashboard
+//	/api/state  the full state as one JSON snapshot
+//	/events     SSE: a snapshot event on connect, then streamed updates
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardPage)
+	})
+	mux.HandleFunc("/api/state", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(l.snapshot())
+	})
+	mux.HandleFunc("/events", l.serveEvents)
+	return mux
+}
+
+func (l *Live) serveEvents(w http.ResponseWriter, req *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch := make(chan []byte, 128)
+	l.mu.Lock()
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.subs, ch)
+		l.mu.Unlock()
+	}()
+
+	fmt.Fprintf(w, "event: snapshot\ndata: %s\n\n", l.snapshot())
+	flusher.Flush()
+
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case msg := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", msg)
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package recorder
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLiveHTTPSmoke drives the monitoring server the way a browser does:
+// fetch the dashboard, open the SSE stream, and check that a run recorded
+// while the stream is open is delivered — a snapshot event first, then at
+// least one streamed sample.
+func TestLiveHTTPSmoke(t *testing.T) {
+	live := NewLive()
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	// Dashboard page renders.
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	page := string(body[:n])
+	if resp.StatusCode != 200 || !strings.Contains(page, "lmas monitor") {
+		t.Fatalf("dashboard: status %d, page %q...", resp.StatusCode, page[:min(len(page), 80)])
+	}
+
+	// State snapshot endpoint answers JSON.
+	resp, err = http.Get(srv.URL + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), `"runs"`) {
+		t.Fatalf("/api/state = %q", body[:n])
+	}
+
+	// Open the SSE stream, then record a run while it is connected.
+	req, _ := http.NewRequest("GET", srv.URL+"/events", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitFor := func(substr string) string {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case ln, ok := <-lines:
+				if !ok {
+					t.Fatalf("SSE stream closed before %q", substr)
+				}
+				if strings.Contains(ln, substr) {
+					return ln
+				}
+			case <-deadline:
+				t.Fatalf("no SSE line containing %q within 5s", substr)
+			}
+		}
+	}
+
+	waitFor("event: snapshot")
+
+	rec := live.NewRun()
+	rec.Begin(testHeader("bench", "cell-a"))
+	rec.Sample(Sample{T: 100, Nodes: []NodeSample{{Node: "host0", CPU: 0.5}}})
+	rec.Finish(testReport("cell-a"))
+
+	if ln := waitFor(`"type":"begin"`); !strings.Contains(ln, "cell-a") {
+		t.Fatalf("begin message lacks run name: %q", ln)
+	}
+	if ln := waitFor(`"type":"sample"`); !strings.Contains(ln, "host0") {
+		t.Fatalf("sample message lacks node: %q", ln)
+	}
+	waitFor(`"type":"finish"`)
+}
+
+// TestLiveBoundedHistory: the live view trims to its caps instead of growing
+// without bound during long sweeps.
+func TestLiveBoundedHistory(t *testing.T) {
+	live := NewLive()
+	rec := live.NewRun()
+	rec.Begin(testHeader("bench", "cell"))
+	for i := 0; i < liveMaxSamples+50; i++ {
+		rec.Sample(Sample{T: int64(i)})
+	}
+	for i := 0; i < liveMaxEvents+20; i++ {
+		rec.Event(Event{T: int64(i), Kind: "decision"})
+	}
+	live.mu.Lock()
+	run := live.runs[0]
+	ns, ne := len(run.Samples), len(run.Events)
+	lastT := run.Samples[ns-1].T
+	live.mu.Unlock()
+	if ns != liveMaxSamples || ne != liveMaxEvents {
+		t.Fatalf("history = %d samples, %d events; want caps %d, %d",
+			ns, ne, liveMaxSamples, liveMaxEvents)
+	}
+	if lastT != int64(liveMaxSamples+49) {
+		t.Fatalf("trim dropped the newest sample: last T = %d", lastT)
+	}
+}

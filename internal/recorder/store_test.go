@@ -1,0 +1,166 @@
+package recorder
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lmas/internal/telemetry"
+)
+
+func testHeader(exp, name string) *Header {
+	return &Header{
+		Experiment: exp,
+		Name:       name,
+		ConfigHash: "abc123",
+		Seed:       7,
+		Config:     telemetry.ClusterConfig{Hosts: 1, ASUs: 2},
+		Workload:   map[string]any{"n": 100},
+	}
+}
+
+func testReport(name string) *telemetry.RunReport {
+	rep := telemetry.NewRunReport(name, 7, 0)
+	rep.RuntimeSec = 1.5
+	return rep
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := st.NewRun()
+	h := testHeader("exp1", "cell-a")
+	rec.Begin(h)
+	if h.RunID == "" || h.StartedAt == "" || h.GitRev == "" {
+		t.Fatalf("Begin left header unfilled: %+v", h)
+	}
+	rec.Sample(Sample{T: 100, Nodes: []NodeSample{{Node: "host0", CPU: 0.5, CPUBusy: 0.05}}})
+	rec.Event(Event{T: 150, Kind: "decision", Source: "route.x", Action: "set-policy"})
+	rec.Sample(Sample{T: 200, Queues: []QueueSample{{Queue: "q", Depth: 3, High: 5}}})
+	rec.Finish(testReport("cell-a"))
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	run, err := LoadRun(filepath.Join(dir, h.RunID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Header.Experiment != "exp1" || run.Header.Name != "cell-a" {
+		t.Fatalf("header = %+v", run.Header)
+	}
+	if got := len(run.Samples()); got != 2 {
+		t.Fatalf("samples = %d, want 2", got)
+	}
+	if got := len(run.Events()); got != 1 {
+		t.Fatalf("events = %d, want 1", got)
+	}
+	rep := run.Report()
+	if rep == nil || rep.Name != "cell-a" || rep.RuntimeSec != 1.5 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Replay reproduces the original stream order.
+	var kinds []string
+	run.Replay(&captureRec{kinds: &kinds})
+	want := []string{"begin", "sample", "event", "sample", "finish"}
+	if len(kinds) != len(want) {
+		t.Fatalf("replay stream %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("replay stream %v, want %v", kinds, want)
+		}
+	}
+}
+
+type captureRec struct{ kinds *[]string }
+
+func (c *captureRec) Begin(*Header)               { *c.kinds = append(*c.kinds, "begin") }
+func (c *captureRec) Sample(Sample)               { *c.kinds = append(*c.kinds, "sample") }
+func (c *captureRec) Event(Event)                 { *c.kinds = append(*c.kinds, "event") }
+func (c *captureRec) Finish(*telemetry.RunReport) { *c.kinds = append(*c.kinds, "finish") }
+
+// TestSelectLatestPerCell: re-recorded cells supersede older segments; other
+// experiments stay invisible.
+func TestSelectLatestPerCell(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(exp, name string, runtime float64) {
+		rec := st.NewRun()
+		h := testHeader(exp, name)
+		rec.Begin(h)
+		rep := testReport(name)
+		rep.RuntimeSec = runtime
+		rec.Finish(rep)
+	}
+	add("bench", "cell-a", 1.0)
+	add("bench", "cell-b", 2.0)
+	add("bench", "cell-a", 3.0) // supersedes the first cell-a
+	add("other", "cell-a", 9.0)
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := st.Select("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("selected %d runs, want 2", len(runs))
+	}
+	tr := TrajectoryOf(runs)
+	if len(tr.Runs) != 2 || tr.Runs[0].Name != "cell-a" || tr.Runs[0].RuntimeSec != 3.0 {
+		t.Fatalf("trajectory runs: %+v", tr.Runs)
+	}
+	if tr.Runs[1].Name != "cell-b" {
+		t.Fatalf("second run %q, want cell-b", tr.Runs[1].Name)
+	}
+}
+
+// TestHeaderOnlyVolatileFields pins the determinism contract of the segment
+// format: identical record streams produce byte-identical segments below
+// line one, because run IDs and wall-clock fields live only in the header.
+func TestHeaderOnlyVolatileFields(t *testing.T) {
+	segments := make([][]byte, 2)
+	for i := range segments {
+		dir := t.TempDir()
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := st.NewRun()
+		h := testHeader("exp", "cell")
+		rec.Begin(h)
+		rec.Sample(Sample{T: 100, Nodes: []NodeSample{{Node: "host0", CPU: 0.25}}})
+		rec.Event(Event{T: 120, Kind: "decision", Fields: map[string]float64{"b": 2, "a": 1}})
+		rec.Finish(testReport("cell"))
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, h.RunID+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		segments[i] = b
+	}
+	if string(stripHeaderLine(t, segments[0])) != string(stripHeaderLine(t, segments[1])) {
+		t.Fatalf("segments differ below the header:\n%s\nvs\n%s", segments[0], segments[1])
+	}
+}
+
+func stripHeaderLine(t *testing.T, b []byte) []byte {
+	t.Helper()
+	for i, c := range b {
+		if c == '\n' {
+			return b[i+1:]
+		}
+	}
+	t.Fatalf("segment has no newline: %q", b)
+	return nil
+}

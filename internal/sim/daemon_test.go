@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDaemonDoesNotExtendRun pins the neutrality property the recorder
+// depends on: a periodic daemon sampler never moves a run's virtual end
+// time, and Run leaves the daemon parked instead of deadlocking on it.
+func TestDaemonDoesNotExtendRun(t *testing.T) {
+	s := New()
+	var ticks []Time
+	s.SpawnDaemon("sampler", func(p *Proc) {
+		for {
+			p.Sleep(3 * Millisecond)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	s.Spawn("worker", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got, want := s.Now(), Time(10*Millisecond); got != want {
+		t.Fatalf("end time %v, want %v (daemon tick extended the run)", got, want)
+	}
+	want := []Time{Time(3 * Millisecond), Time(6 * Millisecond), Time(9 * Millisecond)}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+
+	// A later Run resumes the daemon alongside new work: its wakeup at
+	// 12ms is still queued.
+	s.Spawn("worker2", func(p *Proc) {
+		p.Sleep(5 * Millisecond) // 10ms -> 15ms
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	if got, want := s.Now(), Time(15*Millisecond); got != want {
+		t.Fatalf("end time %v, want %v", got, want)
+	}
+	if len(ticks) != 4 || ticks[3] != Time(12*Millisecond) {
+		t.Fatalf("ticks after resume %v, want one more at 12ms", ticks)
+	}
+	s.Shutdown()
+}
+
+// TestKillDaemon verifies a targeted Kill removes only the daemon: later
+// runs proceed without further samples and without a deadlock.
+func TestKillDaemon(t *testing.T) {
+	s := New()
+	var ticks int
+	d := s.SpawnDaemon("sampler", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+			ticks++
+		}
+	})
+	s.Spawn("worker", func(p *Proc) { p.Sleep(2 * Millisecond) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The 1ms tick fires; the 2ms tick shares the run's final instant but
+	// was scheduled after the worker's wake, so the run ends first.
+	if ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", ticks)
+	}
+	s.Kill(d)
+	s.Kill(d) // idempotent on an exited proc
+	s.Spawn("worker2", func(p *Proc) { p.Sleep(5 * Millisecond) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run after Kill: %v", err)
+	}
+	if ticks != 1 {
+		t.Fatalf("ticks = %d after Kill, want still 1", ticks)
+	}
+	if got, want := s.Now(), Time(7*Millisecond); got != want {
+		t.Fatalf("end time %v, want %v", got, want)
+	}
+}
+
+// TestDeadlockExcludesDaemons: a genuinely stuck worker still raises a
+// DeadlockError, and the error names only the worker, not the daemon.
+func TestDeadlockExcludesDaemons(t *testing.T) {
+	s := New()
+	s.SpawnDaemon("sampler", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	q := NewQueue[int](s, "stuck", 1)
+	s.Spawn("worker", func(p *Proc) {
+		q.Get(p) // never closed, never fed
+	})
+	err := s.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want only the worker", dl.Blocked)
+	}
+}

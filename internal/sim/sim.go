@@ -94,6 +94,12 @@ type Sim struct {
 	// waitLists holds every wait-list owner (resources, conds) created on
 	// this sim, so killProcs can purge killed procs from their queues.
 	waitLists []purger
+
+	// liveEvents counts queued events other than daemon-proc resumptions.
+	// Run exits when it reaches zero, leaving daemon wakeups queued: a
+	// periodic observer (see SpawnDaemon) therefore never extends a run's
+	// virtual end time, and a later Run resumes it alongside new work.
+	liveEvents int
 }
 
 // purger is a wait-list owner that can remove a killed proc from its queue.
@@ -137,6 +143,9 @@ func (s *Sim) schedule(t Time, fn func(), p *Proc) {
 		part = p.part
 	}
 	s.seqs[part]++
+	if p == nil || !p.daemon {
+		s.liveEvents++
+	}
 	e := event{t: t, part: part, seq: s.seqs[part], fn: fn, proc: p}
 	if t == s.now {
 		r := &s.nowqs[part]
@@ -261,13 +270,23 @@ func (s *Sim) popNext() (event, bool) {
 				r.head = 0
 				s.nowActive[part>>6] &^= 1 << (uint(part) & 63)
 			}
+			s.countPopped(e)
 			return e, true
 		}
 	}
 	if hok {
-		return s.heapPop(), true
+		e := s.heapPop()
+		s.countPopped(e)
+		return e, true
 	}
 	return event{}, false
+}
+
+// countPopped keeps the live-event counter in step with popNext.
+func (s *Sim) countPopped(e event) {
+	if e.proc == nil || !e.proc.daemon {
+		s.liveEvents--
+	}
 }
 
 // dispatch executes one event in scheduler context. The event's partition
@@ -298,6 +317,7 @@ func (s *Sim) clearEvents() {
 	for i := range s.nowActive {
 		s.nowActive[i] = 0
 	}
+	s.liveEvents = 0
 }
 
 // Proc is an emulated thread of control: a goroutine that runs only when the
@@ -310,6 +330,9 @@ type Proc struct {
 	part   int32 // event-ordering partition (0 = global)
 	resume chan struct{}
 	killed bool
+	// daemon marks a background observer proc whose queued wakeups never
+	// keep Run alive (see SpawnDaemon).
+	daemon bool
 	// blocked describes what the proc is waiting on, for deadlock reports.
 	blocked string
 	// track is this proc's trace timeline; zero when the sim is untraced or
@@ -333,16 +356,32 @@ type killedSentinel struct{ name string }
 // (partition 0 when spawned from outside the event loop). Spawn may be
 // called before Run or from a running proc or event callback.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	return s.SpawnOn(int(s.curPart), name, fn)
+	return s.spawn(int(s.curPart), name, fn, false)
 }
 
 // SpawnOn is Spawn with the proc pinned to an explicit partition (see
 // AddPartition); clusters pin each node's procs to that node's partition.
 func (s *Sim) SpawnOn(part int, name string, fn func(p *Proc)) *Proc {
+	return s.spawn(part, name, fn, false)
+}
+
+// SpawnDaemon starts a background observer proc: its queued wakeups do not
+// count toward Run's exit condition, so a daemon that sleeps on a fixed
+// interval (a periodic sampler) never extends a run's virtual end time — Run
+// returns the instant the last non-daemon event is dispatched, leaving the
+// daemon parked with its next wakeup queued. A later Run on the same sim
+// resumes it. Daemons must only Sleep between observations (never block on
+// queues, conds, or resources, which would deadlock them once real work
+// drains), and they survive Run; terminate one with Kill or Shutdown.
+func (s *Sim) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(int(s.curPart), name, fn, true)
+}
+
+func (s *Sim) spawn(part int, name string, fn func(p *Proc), daemon bool) *Proc {
 	if part < 0 || part >= len(s.seqs) {
 		panic(fmt.Sprintf("sim: SpawnOn partition %d of %d", part, len(s.seqs)))
 	}
-	p := &Proc{sim: s, name: name, part: int32(part), resume: make(chan struct{})}
+	p := &Proc{sim: s, name: name, part: int32(part), resume: make(chan struct{}), daemon: daemon}
 	if t := s.tracer; t != nil {
 		p.track = t.NewTrack("procs", name)
 		t.Instant(p.track, int64(s.now), "spawn", "proc")
@@ -510,12 +549,14 @@ func (e *DeadlockError) Error() string {
 		len(e.Blocked), strings.Join(e.Blocked, ", "))
 }
 
-// Run executes events in virtual-time order until no events remain. If live
-// procs are still blocked when the event queue drains, Run force-terminates
-// them and returns a DeadlockError naming them. On success all spawned procs
-// have finished.
+// Run executes events in virtual-time order until no non-daemon events
+// remain (daemon wakeups are left queued; see SpawnDaemon). If non-daemon
+// procs are still blocked when the queue drains, Run force-terminates every
+// proc and returns a DeadlockError naming the blocked ones. On success all
+// spawned non-daemon procs have finished; daemons stay parked for a later
+// Run, Kill, or Shutdown.
 func (s *Sim) Run() error {
-	for {
+	for s.liveEvents > 0 {
 		ev, ok := s.popNext()
 		if !ok {
 			break
@@ -529,11 +570,13 @@ func (s *Sim) Run() error {
 		s.dispatch(ev)
 	}
 	s.engine.drain()
-	if len(s.procs) > 0 {
-		var names []string
-		for p := range s.procs {
+	var names []string
+	for p := range s.procs {
+		if !p.daemon {
 			names = append(names, fmt.Sprintf("%s (%s)", p.name, p.blocked))
 		}
+	}
+	if len(names) > 0 {
 		sort.Strings(names)
 		s.killProcs()
 		return &DeadlockError{Blocked: names}
@@ -570,6 +613,26 @@ func (s *Sim) RunFor(d Duration) {
 func (s *Sim) Shutdown() {
 	s.engine.drain()
 	s.killProcs()
+}
+
+// Kill force-terminates a single proc (typically a daemon sampler once its
+// run is over) without disturbing the rest of the simulation: other procs,
+// queued events, and virtual time are untouched. A stale queued wakeup for
+// the killed proc is ignored when dispatched. Must not be called from proc
+// context; no-op if p already exited.
+func (s *Sim) Kill(p *Proc) {
+	if s.inProc {
+		panic("sim: Kill from proc context")
+	}
+	if !s.procs[p] {
+		return
+	}
+	p.killed = true
+	p.resume <- struct{}{}
+	<-s.parked
+	for _, wl := range s.waitLists {
+		wl.purge(p)
+	}
 }
 
 func (s *Sim) killProcs() {

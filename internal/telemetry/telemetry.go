@@ -202,6 +202,7 @@ type Registry struct {
 	hists     []*Histogram
 	byName    map[string]any
 	decisions []Decision
+	onDecide  func(Decision)
 }
 
 // NewRegistry creates an empty registry.
@@ -280,9 +281,22 @@ func (r *Registry) Decide(t sim.Time, source, action, detail string, readings ..
 	if r == nil {
 		return
 	}
-	r.decisions = append(r.decisions, Decision{
-		T: int64(t), Source: source, Action: action, Detail: detail, Readings: readings,
-	})
+	d := Decision{T: int64(t), Source: source, Action: action, Detail: detail, Readings: readings}
+	r.decisions = append(r.decisions, d)
+	if r.onDecide != nil {
+		r.onDecide(d)
+	}
+}
+
+// SetOnDecide installs an observer called synchronously for every Decide,
+// after the entry lands in the audit log — the hook a run recorder uses to
+// stream load-manager decisions as they happen. Nil clears it; no-op on a
+// nil registry.
+func (r *Registry) SetOnDecide(fn func(Decision)) {
+	if r == nil {
+		return
+	}
+	r.onDecide = fn
 }
 
 // Decisions returns the audit log in record order.
