@@ -41,12 +41,16 @@ func main() {
 	global.Usage = usage
 	engine := global.String("engine", "", "sim engine for all subcommands: serial|parallel (results identical; equivalent to LMAS_SIM_ENGINE)")
 	workers := global.Int("workers", 0, "parallel-engine worker goroutines (0 = one per CPU; equivalent to LMAS_SIM_WORKERS)")
+	groups := global.Int("groups", 0, "parallel-engine partition groups (0 = shared worker pool; equivalent to LMAS_SIM_GROUPS)")
 	global.Parse(os.Args[1:]) // stops at the first non-flag: the subcommand
 	if *engine != "" {
 		os.Setenv("LMAS_SIM_ENGINE", *engine)
 	}
 	if *workers != 0 {
 		os.Setenv("LMAS_SIM_WORKERS", strconv.Itoa(*workers))
+	}
+	if *groups != 0 {
+		os.Setenv("LMAS_SIM_GROUPS", strconv.Itoa(*groups))
 	}
 	if global.NArg() < 1 {
 		usage()

@@ -142,6 +142,12 @@ type Params struct {
 	// EngineWorkers sets the parallel engine's worker-goroutine count;
 	// 0 consults LMAS_SIM_WORKERS and then defaults to one per CPU.
 	EngineWorkers int
+	// EngineGroups, when positive, runs the parallel engine in partition-
+	// group mode: that many dedicated workers, each owning the offload ring
+	// of node group (partition mod groups). 0 consults LMAS_SIM_GROUPS and
+	// then defaults to the shared worker pool. Requires the parallel engine;
+	// like Engine/EngineWorkers it never changes results.
+	EngineGroups int
 }
 
 // EngineSpec resolves the engine selection, applying the environment
@@ -161,7 +167,34 @@ func (p Params) EngineSpec() (sim.EngineSpec, error) {
 			workers = w
 		}
 	}
-	return sim.ParseEngineSpec(name, workers)
+	groups, groupsFromEnv := p.EngineGroups, false
+	if groups == 0 {
+		if v := os.Getenv("LMAS_SIM_GROUPS"); v != "" {
+			g, err := strconv.Atoi(v)
+			if err != nil {
+				return sim.EngineSpec{}, fmt.Errorf("cluster: bad LMAS_SIM_GROUPS %q: %w", v, err)
+			}
+			groups, groupsFromEnv = g, true
+		}
+	}
+	spec, err := sim.ParseEngineSpec(name, workers)
+	if err != nil {
+		return sim.EngineSpec{}, err
+	}
+	if groups > 0 {
+		if spec.Kind != sim.EngineParallel {
+			// An explicit param on the serial engine is a configuration
+			// error; the env fallback is advisory so a suite-wide
+			// LMAS_SIM_GROUPS override composes with runs that explicitly
+			// select serial (e.g. differential references).
+			if !groupsFromEnv {
+				return sim.EngineSpec{}, fmt.Errorf("cluster: engine groups (%d) require the parallel engine", groups)
+			}
+		} else {
+			spec.Groups = groups
+		}
+	}
+	return spec, nil
 }
 
 // DefaultParams returns the baseline configuration used throughout the

@@ -1,0 +1,140 @@
+package dsmsort
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lmas/internal/bufpool"
+	"lmas/internal/records"
+	"lmas/internal/sim"
+)
+
+// kernelEngineSpecs sweeps the merge-kernel differential tests across the
+// serial reference, the shared worker pool at the pinned worker counts, and
+// partition-group mode.
+var kernelEngineSpecs = []sim.EngineSpec{
+	{Kind: sim.EngineSerial},
+	{Kind: sim.EngineParallel, Workers: 1},
+	{Kind: sim.EngineParallel, Workers: 2},
+	{Kind: sim.EngineParallel, Workers: 8},
+	{Kind: sim.EngineParallel, Groups: 2},
+}
+
+func kernelSpecLabel(spec sim.EngineSpec) string {
+	switch {
+	case spec.Kind == sim.EngineSerial:
+		return "serial"
+	case spec.Groups > 0:
+		return fmt.Sprintf("parallel-g%d", spec.Groups)
+	default:
+		return fmt.Sprintf("parallel-%d", spec.Workers)
+	}
+}
+
+// sortedRandomBuffers builds k pooled sorted buffers with random lengths and
+// payloads (some possibly empty), the input shape of one staged merge batch.
+func sortedRandomBuffers(rng *rand.Rand, k, recSize int) []records.Buffer {
+	bufs := make([]records.Buffer, k)
+	for i := range bufs {
+		n := rng.Intn(200)
+		b := records.NewPooled(n, recSize)
+		for r := 0; r < n; r++ {
+			rec := b.Record(r)
+			for j := range rec {
+				rec[j] = byte(rng.Intn(256))
+			}
+		}
+		keys := make([]records.Key, n)
+		for r := range keys {
+			keys[r] = records.Key(rng.Uint32())
+		}
+		sort.Slice(keys, func(a, c int) bool { return keys[a] < keys[c] })
+		for r, key := range keys {
+			b.SetKey(r, key)
+		}
+		bufs[i] = b
+	}
+	return bufs
+}
+
+// TestStagedMergeMatchesInline is the per-kernel differential test: the
+// staged merge body — issued through Proc.GoLabeled with the Guard/Unguard
+// discipline the merge pass uses, under every engine — must produce exactly
+// the bytes of the inline mergeBuffers reference. Runs under bufpool debug
+// (pool_test.go's TestMain), so a closure retaining a pooled buffer past its
+// stage would panic here.
+func TestStagedMergeMatchesInline(t *testing.T) {
+	prev := bufpool.SetDebug(true)
+	defer bufpool.SetDebug(prev)
+	const recSize = 32
+	for _, spec := range kernelEngineSpecs {
+		t.Run(kernelSpecLabel(spec), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 20; trial++ {
+				k := 2 + rng.Intn(8)
+				bufs := sortedRandomBuffers(rng, k, recSize)
+				ref := mergeBuffers(bufs, recSize)
+
+				total := 0
+				for _, b := range bufs {
+					total += b.Len()
+				}
+				s := sim.NewWithEngine(spec)
+				staged := records.NewPooled(total, recSize)
+				s.Spawn("merge", func(p *sim.Proc) {
+					bufpool.Guard(staged.Raw(), "asumerge")
+					job := p.GoLabeled(asuMergeLabel, func() {
+						mergeBody(staged, bufs)
+						bufpool.Unguard(staged.Raw())
+					})
+					job.Wait()
+				})
+				if err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				s.Shutdown()
+				if !bytes.Equal(staged.Raw(), ref.Raw()) {
+					t.Fatalf("trial %d (k=%d, n=%d): staged merge bytes diverge from inline reference",
+						trial, k, total)
+				}
+				if !staged.IsSorted() {
+					t.Fatalf("trial %d: staged merge output not sorted", trial)
+				}
+				staged.Release()
+				ref.Release()
+				for _, b := range bufs {
+					b.Release()
+				}
+			}
+			if err := bufpool.LeakCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGuardCatchesCommitBeforeWait pins the bufpool offload check end to
+// end: releasing a staged merge's output buffer before the closure's Wait —
+// the commit-before-join bug class — must panic under debug mode.
+func TestGuardCatchesCommitBeforeWait(t *testing.T) {
+	prev := bufpool.SetDebug(true)
+	defer bufpool.SetDebug(prev)
+	out := records.NewPooled(16, 32)
+	bufpool.Guard(out.Raw(), "asumerge")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("releasing a guarded staged buffer did not panic")
+			}
+		}()
+		out.Release() // before any Unguard: the misuse moment
+	}()
+	bufpool.Unguard(out.Raw())
+	out.Release()
+	if err := bufpool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

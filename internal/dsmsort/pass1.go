@@ -294,11 +294,12 @@ func RunFormation(cl *cluster.Cluster, cfg Config, in *Input) (*RunStore, *Pass1
 	if got := rs.Records(); got != int64(in.N) {
 		return nil, nil, fmt.Errorf("dsmsort: stored %d records, want %d", got, in.N)
 	}
-	if !rs.Checksum().Equal(in.Checksum) {
-		return nil, nil, fmt.Errorf("dsmsort: run store checksum mismatch")
-	}
-	if err := rs.sortedRunsOK(cfg.Alpha); err != nil {
+	sum, err := rs.auditExec(cfg.Alpha, harnessExec(cl, validateLabel))
+	if err != nil {
 		return nil, nil, err
+	}
+	if !sum.Equal(in.Checksum) {
+		return nil, nil, fmt.Errorf("dsmsort: run store checksum mismatch")
 	}
 	if reg := cl.Telemetry; reg != nil {
 		reg.Counter("dsmsort.pass1.runs").Add(int64(res.Runs))

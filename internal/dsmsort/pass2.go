@@ -2,7 +2,6 @@ package dsmsort
 
 import (
 	"fmt"
-	"sort"
 
 	"lmas/internal/bte"
 	"lmas/internal/bufpool"
@@ -54,49 +53,10 @@ func (o *OutputStore) Records() int64 {
 // Validate checks that the output is a complete ascending sort of in:
 // right count, matching multiset checksum, every packet sorted, packets
 // within a bucket nondecreasing across sequence numbers, and bucket key
-// ranges respected. It runs outside virtual time.
+// ranges respected. It runs outside virtual time, serially; ValidateExec
+// (validate.go) chunks the per-packet work through an executor.
 func (o *OutputStore) Validate(in *Input, alpha int) error {
-	if got := o.Records(); got != int64(in.N) {
-		return fmt.Errorf("dsmsort: output has %d records, want %d", got, in.N)
-	}
-	var sum records.Checksum
-	byBucket := map[int][]container.Packet{}
-	for _, st := range o.Streams {
-		st.ForEach(func(pk container.Packet) bool {
-			sum.Add(pk.Buf)
-			byBucket[pk.Bucket] = append(byBucket[pk.Bucket], pk)
-			return true
-		})
-	}
-	if !sum.Equal(in.Checksum) {
-		return fmt.Errorf("dsmsort: output checksum mismatch: %v vs %v", sum, in.Checksum)
-	}
-	sp := records.Splitters(alpha)
-	for bucket, pks := range byBucket {
-		sort.Slice(pks, func(i, j int) bool { return pks[i].Run < pks[j].Run })
-		var last records.Key
-		haveLast := false
-		for _, pk := range pks {
-			if !pk.Buf.IsSorted() {
-				return fmt.Errorf("dsmsort: unsorted output packet in bucket %d", bucket)
-			}
-			if pk.Len() == 0 {
-				continue
-			}
-			if haveLast && pk.Buf.Key(0) < last {
-				return fmt.Errorf("dsmsort: bucket %d packets out of order across seq", bucket)
-			}
-			last = pk.Buf.Key(pk.Len() - 1)
-			haveLast = true
-			n := pk.Len()
-			for i := 0; i < n; i++ {
-				if records.BucketOf(pk.Buf.Key(i), sp) != bucket {
-					return fmt.Errorf("dsmsort: output record in wrong bucket %d", bucket)
-				}
-			}
-		}
-	}
-	return nil
+	return o.ValidateExec(in, alpha, nil)
 }
 
 // MergeResult reports merge-pass outcomes.
@@ -108,7 +68,17 @@ type MergeResult struct {
 	ASUMergeLevels int
 	HostOps        float64
 	ASUOps         float64
+	// OffloadedOps is the share of HostOps+ASUOps whose record-moving
+	// inner loop ran behind the engine's offload seam (staged merges).
+	// Deterministic: the staged path runs under every engine.
+	OffloadedOps float64
 }
+
+// Offload labels for the merge pass's staged kernels (see sim.OffloadLabel).
+var (
+	asuMergeLabel  = &sim.OffloadLabel{Kernel: "asumerge", Stage: "merge"}
+	hostMergeLabel = &sim.OffloadLabel{Kernel: "hostmerge", Stage: "merge"}
+)
 
 // mergeHeap is a loser-tree-equivalent k-way merge frontier. It is a
 // hand-rolled binary heap rather than container/heap because heap.Pop
@@ -181,16 +151,12 @@ func putMergeScratch(sc *mergeScratch) {
 	mergePool.Put(sc)
 }
 
-// mergeBuffers merges k sorted buffers into one sorted buffer (pure
-// computation; callers charge the CPU cost separately). The result is drawn
-// from the buffer pool and owned by the caller; every record position is
-// written before return.
-func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
-	total := 0
-	for _, b := range bufs {
-		total += b.Len()
-	}
-	out := records.NewPooled(total, recSize)
+// mergeBody merges k sorted buffers into out (which must hold exactly their
+// total record count). It is pure computation over memory the caller owns —
+// the merge-pass kernel that runs behind the engine's offload seam. Scratch
+// is drawn from the merge pool inside (scratch pools are contention-free and
+// have no report-visible state, so worker-side draws are safe).
+func mergeBody(out records.Buffer, bufs []records.Buffer) {
 	sc := mergePool.Get()
 	pos := scratch.Grow(sc.pos, len(bufs))
 	h := sc.h[:0]
@@ -217,6 +183,20 @@ func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
 	}
 	sc.pos, sc.h = pos, h
 	putMergeScratch(sc)
+}
+
+// mergeBuffers merges k sorted buffers into one sorted buffer (pure
+// computation; callers charge the CPU cost separately). The result is drawn
+// from the buffer pool and owned by the caller; every record position is
+// written before return. This is the inline reference the staged offload
+// path is differential-tested against.
+func mergeBuffers(bufs []records.Buffer, recSize int) records.Buffer {
+	total := 0
+	for _, b := range bufs {
+		total += b.Len()
+	}
+	out := records.NewPooled(total, recSize)
+	mergeBody(out, bufs)
 	return out
 }
 
@@ -357,6 +337,7 @@ func MergePass(cl *cluster.Cluster, cfg Config, rs *RunStore) (*OutputStore, *Me
 		reg.Counter("dsmsort.merge.levels").Add(int64(res.ASUMergeLevels))
 		reg.Counter("dsmsort.merge.host_ops").Add(int64(res.HostOps))
 		reg.Counter("dsmsort.merge.asu_ops").Add(int64(res.ASUOps))
+		reg.Counter("dsmsort.merge.offload_ops").Add(int64(res.OffloadedOps))
 		reg.Gauge("dsmsort.merge.elapsed_sec").Set(cl.Sim.Now(), res.Elapsed.Seconds())
 		now := cl.Sim.Now()
 		flushQueue := func(q *sim.Queue[container.Packet]) {
@@ -401,8 +382,20 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 	levels := 0
 	// Intermediate levels: merge batches of γ2 runs into longer runs,
 	// charging CPU plus the write+read round trip intermediate data
-	// makes through local storage.
+	// makes through local storage. The merge body runs behind the offload
+	// seam, overlapping the virtual Compute charge; the output draw stays
+	// on the event loop (pool gauges are report-visible) and is guarded so
+	// a premature release trips bufpool's debug check. One closure over a
+	// mutable capture struct keeps the batch loop allocation-light.
 	eng := st.Engine()
+	var im struct {
+		batch []records.Buffer
+		out   records.Buffer
+	}
+	imStep := func() {
+		mergeBody(im.out, im.batch)
+		bufpool.Unguard(im.out.Raw())
+	}
 	for len(runs) > cfg.Gamma2 {
 		levels++
 		var next []records.Buffer
@@ -419,8 +412,13 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 			}
 			ops := float64(nrec) * (touch + log2f(len(batch))*cm.CompareOps)
 			res.ASUOps += ops
+			res.OffloadedOps += ops
+			merged := records.NewPooled(nrec, recSize)
+			bufpool.Guard(merged.Raw(), "asumerge")
+			im.batch, im.out = batch, merged
+			job := p.GoLabeled(asuMergeLabel, imStep)
 			asu.Compute(p, ops)
-			merged := mergeBuffers(batch, recSize)
+			job.Wait()
 			// The batch's records now live in merged; recycle the pooled
 			// intermediate inputs (engine-owned level-0 runs stay put).
 			for i := lo; i < hi; i++ {
@@ -443,24 +441,33 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		runs, owned = next, nextOwned
 	}
 	levels++
-	// Final level: streaming γ2-way merge emitting packets to the host.
-	// The scratch is held across queue parks: the proc owns it exclusively
-	// until the merge completes, which is exactly the pool contract.
+	// Final level: streaming γ2-way merge emitting packets to the host,
+	// one offloaded burst per output packet. The proc pipelines: issue
+	// the burst filling packet k, run packet k-1's virtual-time flush
+	// (StartChain/Compute/Put) while the burst executes on a worker, then
+	// join. The record copies are invisible to the simulation, so the
+	// virtual-op order is identical to the old inline loop — results stay
+	// byte-identical across engines; only wall clock overlaps. Scratch is
+	// held across queue parks: the proc owns it exclusively until the
+	// merge completes, which is exactly the pool contract.
 	msc := mergePool.Get()
 	frontier := scratch.Grow(msc.pos, len(runs))
 	h := msc.h[:0]
+	total := 0
 	for i, b := range runs {
 		frontier[i] = 0
+		total += b.Len()
 		if b.Len() > 0 {
 			h = append(h, mergeItem{key: b.Key(0), src: i})
 		}
 	}
 	h.init()
 	pf := cl.Profiler
-	outBuf := records.NewPooled(cfg.PacketRecords, recSize)
-	fill := 0
-	flush := func() {
-		if fill == 0 {
+	perRec := touch + log2f(len(runs))*cm.CompareOps
+	var pending records.Buffer
+	pendingFill := 0
+	flushPending := func() {
+		if pendingFill == 0 {
 			return
 		}
 		// Merged packets root fresh provenance chains: their inputs were
@@ -468,9 +475,10 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 		id := pf.StartChain(p)
 		// The packet owns its pooled buffer; the host merger releases it
 		// once the records are copied into the bucket's output.
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: -1, Run: -1, Owned: true, Prov: id}
-		ops := float64(fill) * (touch + log2f(len(runs))*cm.CompareOps)
+		pk := container.Packet{Buf: pending.Slice(0, pendingFill), Sorted: true, Bucket: -1, Run: -1, Owned: true, Prov: id}
+		ops := float64(pendingFill) * perRec
 		res.ASUOps += ops
+		res.OffloadedOps += ops
 		asu.Compute(p, ops)
 		// Stream to the consuming host merger; the network hop is
 		// charged by the host side on receipt (it knows its NIC).
@@ -478,27 +486,43 @@ func asuLocalMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, asu *cluster.No
 			panic(err)
 		}
 		pf.EndPacket(p)
-		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
-		fill = 0
+		pending, pendingFill = records.Buffer{}, 0
 	}
-	for len(h) > 0 {
-		it := h[0]
-		b := runs[it.src]
-		copy(outBuf.Record(fill), b.Record(frontier[it.src]))
-		fill++
-		frontier[it.src]++
-		if frontier[it.src] < b.Len() {
-			h[0] = mergeItem{key: b.Key(frontier[it.src]), src: it.src}
-			h.fixTop()
-		} else {
-			h.popTop()
-		}
-		if fill == cfg.PacketRecords {
-			flush()
-		}
+	var burst struct {
+		out  records.Buffer
+		fill int
 	}
-	flush()
-	outBuf.Release() // last (empty or partial) staging buffer
+	burstStep := func() {
+		out, n := burst.out, burst.fill
+		for w := 0; w < n; w++ {
+			it := h[0]
+			b := runs[it.src]
+			copy(out.Record(w), b.Record(frontier[it.src]))
+			frontier[it.src]++
+			if frontier[it.src] < b.Len() {
+				h[0] = mergeItem{key: b.Key(frontier[it.src]), src: it.src}
+				h.fixTop()
+			} else {
+				h.popTop()
+			}
+		}
+		bufpool.Unguard(out.Raw())
+	}
+	for rem := total; rem > 0; {
+		fill := cfg.PacketRecords
+		if rem < fill {
+			fill = rem
+		}
+		outBuf := records.NewPooled(cfg.PacketRecords, recSize)
+		bufpool.Guard(outBuf.Raw(), "asumerge")
+		burst.out, burst.fill = outBuf, fill
+		job := p.GoLabeled(asuMergeLabel, burstStep)
+		flushPending()
+		job.Wait()
+		pending, pendingFill = outBuf, fill
+		rem -= fill
+	}
+	flushPending()
 	for i := range runs {
 		if owned[i] {
 			runs[i].Release()
@@ -539,6 +563,10 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		pf.EndPacket(p)
 		heads[i] = pk
 		pos[i] = 0
+		// The merge bursts read this head on a worker goroutine; guard it
+		// so a premature release trips bufpool's debug check. The burst
+		// unguards it at the moment of exhaustion.
+		bufpool.Guard(pk.Buf.Raw(), "hostmerge")
 		return true
 	}
 	h := sc.h[:0]
@@ -549,10 +577,20 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 	}
 	h.init()
 
+	// The inner merge runs as offloaded bursts: each burst copies records
+	// into outBuf until the packet is full or an input head exhausts —
+	// exhaustion hands control back to the proc, whose queue Get and
+	// network charge (virtual ops) must interleave the merge exactly where
+	// the old inline loop put them. Completed packets are flushed one
+	// burst later, overlapping their virtual Compute/Stream/Put with the
+	// next burst's wall-clock work; the virtual-op order is unchanged, so
+	// results stay byte-identical across engines.
 	outBuf := records.NewPooled(cfg.PacketRecords, recSize)
 	fill, seq := 0, 0
-	flush := func() {
-		if fill == 0 {
+	var pending records.Buffer
+	pendingFill := 0
+	flushPending := func() {
+		if pendingFill == 0 {
 			return
 		}
 		// Output packets derive from the most recent input chain the merger
@@ -561,10 +599,11 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 		pf.BeginPacket(p, id)
 		// The collector appends the packet to the output stream, which
 		// transfers the pooled buffer's ownership to the ASU's engine.
-		pk := container.Packet{Buf: outBuf.Slice(0, fill), Sorted: true, Bucket: bucket, Run: seq, Owned: true, Prov: id}
+		pk := container.Packet{Buf: pending.Slice(0, pendingFill), Sorted: true, Bucket: bucket, Run: seq, Owned: true, Prov: id}
 		seq++
-		ops := float64(fill) * (touch + log2f(gamma1)*cm.CompareOps)
+		ops := float64(pendingFill) * (touch + log2f(gamma1)*cm.CompareOps)
 		res.HostOps += ops
+		res.OffloadedOps += ops
 		host.Compute(p, ops)
 		dest := *stripe % len(collectors)
 		*stripe++
@@ -573,16 +612,35 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 			panic(err)
 		}
 		pf.EndPacket(p)
-		outBuf = records.NewPooled(cfg.PacketRecords, recSize)
-		fill = 0
+		pending, pendingFill = records.Buffer{}, 0
+	}
+	exhausted := -1
+	burst := func() {
+		for fill < cfg.PacketRecords && len(h) > 0 {
+			it := h[0]
+			src := it.src
+			copy(outBuf.Record(fill), heads[src].Buf.Record(pos[src]))
+			fill++
+			pos[src]++
+			if pos[src] == heads[src].Len() {
+				// Hand back to the proc: releasing the head and pulling
+				// the next packet are simulator-visible operations.
+				exhausted = src
+				bufpool.Unguard(heads[src].Buf.Raw())
+				break
+			}
+			h[0] = mergeItem{key: heads[src].Buf.Key(pos[src]), src: src}
+			h.fixTop()
+		}
+		bufpool.Unguard(outBuf.Raw())
 	}
 	for len(h) > 0 {
-		it := h[0]
-		src := it.src
-		copy(outBuf.Record(fill), heads[src].Buf.Record(pos[src]))
-		fill++
-		pos[src]++
-		if pos[src] == heads[src].Len() {
+		bufpool.Guard(outBuf.Raw(), "hostmerge")
+		job := p.GoLabeled(hostMergeLabel, burst)
+		flushPending()
+		job.Wait()
+		if src := exhausted; src >= 0 {
+			exhausted = -1
 			heads[src].Release() // exhausted upstream packet (it owned its buffer)
 			if !advance(src) {
 				h.popTop()
@@ -590,16 +648,20 @@ func hostBucketMerge(cl *cluster.Cluster, cfg Config, p *sim.Proc, host *cluster
 				h[0] = mergeItem{key: heads[src].Buf.Key(0), src: src}
 				h.fixTop()
 			}
-		} else {
-			h[0] = mergeItem{key: heads[src].Buf.Key(pos[src]), src: src}
-			h.fixTop()
 		}
 		if fill == cfg.PacketRecords {
-			flush()
+			pending, pendingFill = outBuf, fill
+			outBuf = records.NewPooled(cfg.PacketRecords, recSize)
+			fill = 0
 		}
 	}
-	flush()
-	outBuf.Release() // last staging buffer never entered a packet
+	flushPending()
+	if fill > 0 {
+		pending, pendingFill = outBuf, fill
+		flushPending()
+	} else {
+		outBuf.Release() // last staging buffer never entered a packet
+	}
 	sc.heads, sc.pos, sc.h = heads, pos, h
 	putMergeScratch(sc)
 }

@@ -31,7 +31,7 @@ func Sort(cl *cluster.Cluster, cfg Config, in *Input) (*Result, error) {
 	}
 	// The runs have been merged into out; recycle their block storage.
 	rs.Free()
-	if err := out.Validate(in, cfg.Alpha); err != nil {
+	if err := out.ValidateExec(in, cfg.Alpha, harnessExec(cl, validateLabel)); err != nil {
 		return nil, fmt.Errorf("dsmsort: output validation failed: %w", err)
 	}
 	return &Result{

@@ -4,19 +4,23 @@ import (
 	"encoding/json"
 	"testing"
 
+	"lmas/internal/dsmsort"
 	"lmas/internal/sim"
 )
 
 // engineVariants are the parallel-engine configurations the differential
 // harness compares against the serial reference: the worker counts the
-// byte-identity guarantee is pinned at.
+// byte-identity guarantee is pinned at, plus partition-group mode.
 var engineVariants = []struct {
 	name    string
 	workers int
+	groups  int
 }{
-	{"parallel-1", 1},
-	{"parallel-2", 2},
-	{"parallel-8", 8},
+	{"parallel-1", 1, 0},
+	{"parallel-2", 2, 0},
+	{"parallel-8", 8, 0},
+	{"parallel-g2", 0, 2},
+	{"parallel-g4", 0, 4},
 }
 
 // mustJSON marshals an experiment result for byte comparison. Callers zero
@@ -42,9 +46,9 @@ func TestFig10ByteIdenticalAcrossEngines(t *testing.T) {
 	opt := DefaultFig10Options()
 	opt.N = 1 << 16
 	opt.Window = 25 * sim.Millisecond
-	run := func(engine string, workers int) string {
+	run := func(engine string, workers, groups int) string {
 		o := opt
-		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		o.Base.Engine, o.Base.EngineWorkers, o.Base.EngineGroups = engine, workers, groups
 		res, err := RunFig10(o)
 		if err != nil {
 			t.Fatal(err)
@@ -52,9 +56,9 @@ func TestFig10ByteIdenticalAcrossEngines(t *testing.T) {
 		res.Options = Fig10Options{}
 		return mustJSON(t, res)
 	}
-	ref := run("serial", 0)
+	ref := run("serial", 0, 0)
 	for _, v := range engineVariants {
-		if got := run("parallel", v.workers); got != ref {
+		if got := run("parallel", v.workers, v.groups); got != ref {
 			t.Fatalf("%s: Fig10 result bytes diverge from serial", v.name)
 		}
 	}
@@ -69,9 +73,9 @@ func TestIsolationByteIdenticalAcrossEngines(t *testing.T) {
 	}
 	opt := DefaultIsolationOptions()
 	opt.N = 1 << 15
-	run := func(engine string, workers int) string {
+	run := func(engine string, workers, groups int) string {
 		o := opt
-		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		o.Base.Engine, o.Base.EngineWorkers, o.Base.EngineGroups = engine, workers, groups
 		res, err := RunIsolation(o)
 		if err != nil {
 			t.Fatal(err)
@@ -79,9 +83,9 @@ func TestIsolationByteIdenticalAcrossEngines(t *testing.T) {
 		res.Options = IsolationOptions{}
 		return mustJSON(t, res)
 	}
-	ref := run("serial", 0)
+	ref := run("serial", 0, 0)
 	for _, v := range engineVariants {
-		if got := run("parallel", v.workers); got != ref {
+		if got := run("parallel", v.workers, v.groups); got != ref {
 			t.Fatalf("%s: isolation result bytes diverge from serial", v.name)
 		}
 	}
@@ -96,9 +100,9 @@ func TestAdaptByteIdenticalAcrossEngines(t *testing.T) {
 	}
 	opt := DefaultAdaptOptions()
 	opt.N = 1 << 14
-	run := func(engine string, workers int) string {
+	run := func(engine string, workers, groups int) string {
 		o := opt
-		o.Base.Engine, o.Base.EngineWorkers = engine, workers
+		o.Base.Engine, o.Base.EngineWorkers, o.Base.EngineGroups = engine, workers, groups
 		res, err := RunAdapt(o)
 		if err != nil {
 			t.Fatal(err)
@@ -106,9 +110,9 @@ func TestAdaptByteIdenticalAcrossEngines(t *testing.T) {
 		res.Options = AdaptOptions{}
 		return mustJSON(t, res)
 	}
-	ref := run("serial", 0)
+	ref := run("serial", 0, 0)
 	for _, v := range engineVariants {
-		if got := run("parallel", v.workers); got != ref {
+		if got := run("parallel", v.workers, v.groups); got != ref {
 			t.Fatalf("%s: adaptation result bytes diverge from serial", v.name)
 		}
 	}
@@ -122,17 +126,80 @@ func TestBenchTrajectoryByteIdenticalAcrossEngines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	run := func(engine string, workers int) string {
-		tr, err := RunBenchEngine(true, 42, 0, engine, workers, nil)
+	run := func(engine string, workers, groups int) string {
+		tr, err := RunBenchWith(BenchOptions{
+			Quick: true, Seed: 42,
+			Engine: engine, EngineWorkers: workers, EngineGroups: groups,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return mustJSON(t, tr)
 	}
-	ref := run("serial", 0)
+	ref := run("serial", 0, 0)
 	for _, v := range engineVariants {
-		if got := run("parallel", v.workers); got != ref {
+		if got := run("parallel", v.workers, v.groups); got != ref {
 			t.Fatalf("%s: bench trajectory bytes diverge from serial", v.name)
+		}
+	}
+}
+
+// TestMergeHeavyByteIdenticalAcrossEngines extends the cross-engine property
+// test to merge-heavy shapes: a tiny run length (beta) against a small merge
+// order (gamma2) leaves each (ASU, bucket) pair with runs ≫ gamma2, forcing
+// multiple ASU-local merge levels — the staged/pipelined offload path this
+// PR adds — plus a deep host merge. Reports, including the merge offload-ops
+// counters, must be byte-identical across engines, worker counts, and
+// partition groups, for several seeds and distributions.
+func TestMergeHeavyByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shapes := []struct {
+		dist string
+		seed int64
+	}{
+		{"uniform", 1},
+		{"halves", 2},
+		{"exp", 3},
+	}
+	for _, sh := range shapes {
+		spec := SortRunSpec{
+			Name:          "merge-heavy-" + sh.dist,
+			N:             1 << 14,
+			Hosts:         1,
+			ASUs:          2,
+			C:             8,
+			Alpha:         4,
+			Beta:          128, // 128 runs: 16 per (ASU, bucket)
+			Gamma2:        2,   // forces 4 local merge levels
+			PacketRecords: 32,
+			Placement:     dsmsort.Active,
+			Policy:        "static",
+			Dist:          sh.dist,
+			Seed:          sh.seed,
+		}
+		run := func(engine string, workers, groups int) string {
+			s := spec
+			s.Engine, s.EngineWorkers, s.EngineGroups = engine, workers, groups
+			rep, res, err := RunSortReport(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Merge.OffloadedOps <= 0 {
+				t.Fatalf("%s: merge pass reported no offloaded ops", s.Name)
+			}
+			if res.Merge.ASUMergeLevels < 2 {
+				t.Fatalf("%s: only %d local merge levels — shape is not merge-heavy",
+					s.Name, res.Merge.ASUMergeLevels)
+			}
+			return mustJSON(t, rep) + mustJSON(t, res)
+		}
+		ref := run("serial", 0, 0)
+		for _, v := range engineVariants {
+			if got := run("parallel", v.workers, v.groups); got != ref {
+				t.Fatalf("%s %s: merge-heavy sort bytes diverge from serial", sh.dist, v.name)
+			}
 		}
 	}
 }

@@ -32,11 +32,12 @@ type SortRunSpec struct {
 	// Critpath attaches the critical-path profiler and adds a latency
 	// attribution section (with the Pass1Model prediction) to the report.
 	Critpath bool
-	// Engine/EngineWorkers select the sim event-loop engine (see
-	// cluster.Params). The choice never changes the report's bytes, so it
-	// is deliberately absent from the Workload map.
+	// Engine/EngineWorkers/EngineGroups select the sim event-loop engine
+	// (see cluster.Params). The choice never changes the report's bytes, so
+	// it is deliberately absent from the Workload map.
 	Engine        string
 	EngineWorkers int
+	EngineGroups  int
 	// Record, when non-nil, streams the run into a recorder sink (store
 	// and/or live dashboard): header at start, periodic samples and
 	// decisions during the run, the finished report at the end. Recording
@@ -61,7 +62,7 @@ type SortRunSpec struct {
 func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, error) {
 	params := cluster.DefaultParams()
 	params.Hosts, params.ASUs, params.C = spec.Hosts, spec.ASUs, spec.C
-	params.Engine, params.EngineWorkers = spec.Engine, spec.EngineWorkers
+	params.Engine, params.EngineWorkers, params.EngineGroups = spec.Engine, spec.EngineWorkers, spec.EngineGroups
 	if err := params.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
@@ -223,6 +224,7 @@ type BenchOptions struct {
 	Jobs          int
 	Engine        string
 	EngineWorkers int
+	EngineGroups  int
 	// Record streams every cell into the sink (each cell is its own run);
 	// Experiment and SampleEvery are passed through to the cells' specs.
 	Record      recorder.Sink
@@ -240,6 +242,7 @@ func RunBenchWith(opt BenchOptions) (*telemetry.Trajectory, error) {
 	for i := range specs {
 		specs[i].Engine = opt.Engine
 		specs[i].EngineWorkers = opt.EngineWorkers
+		specs[i].EngineGroups = opt.EngineGroups
 		specs[i].Record = opt.Record
 		specs[i].Experiment = opt.Experiment
 		specs[i].SampleEvery = opt.SampleEvery

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"lmas/internal/bufpool"
 	"lmas/internal/container"
 	"lmas/internal/records"
+	"lmas/internal/sim"
 )
 
 // log2 returns log2(n) clamped at zero, the per-record comparison count the
@@ -169,6 +171,14 @@ type AsyncKernel interface {
 	Stage(ctx *Ctx, pk container.Packet) (compute func(), commit func(emit Emit))
 }
 
+// OffloadLabeled is optionally implemented by AsyncKernels to tag their
+// offloaded compute closures with a pprof label (see sim.OffloadLabel), so
+// CPU profiles attribute worker time per kernel. Return a package-level
+// label so labeling stays allocation-free.
+type OffloadLabeled interface {
+	OffloadLabel() *sim.OffloadLabel
+}
+
 // stagedRun is a full block captured by Stage: compute sorts buf off the
 // event loop, commit emits it with the run number assigned at stage time.
 type stagedRun struct {
@@ -188,6 +198,11 @@ func (b *BlockSort) Stage(ctx *Ctx, pk container.Packet) (compute func(), commit
 		b.computeFn = func() {
 			for i := range b.staged {
 				b.staged[i].buf.Sort()
+			}
+			// Unguard last: a release racing this closure panics in
+			// bufpool debug mode instead of corrupting the sort.
+			for i := range b.staged {
+				bufpool.Unguard(b.staged[i].buf.Raw())
 			}
 		}
 		b.commitFn = func(emit Emit) {
@@ -221,6 +236,7 @@ func (b *BlockSort) Stage(ctx *Ctx, pk container.Packet) (compute func(), commit
 			b.blocks[idx] = records.Buffer{}
 			b.fill[idx] = 0
 			b.runSeq++
+			bufpool.Guard(buf.Raw(), "blocksort")
 			b.staged = append(b.staged, stagedRun{buf: buf, bucket: idx - 1, run: b.runSeq})
 		}
 	}
@@ -232,6 +248,14 @@ func (b *BlockSort) Stage(ctx *Ctx, pk container.Packet) (compute func(), commit
 }
 
 var _ AsyncKernel = (*BlockSort)(nil)
+
+// blockSortLabel tags BlockSort's offloaded sorts in CPU profiles.
+var blockSortLabel = &sim.OffloadLabel{Kernel: "blocksort", Stage: "sort"}
+
+// OffloadLabel attributes offloaded sort time to the blocksort kernel.
+func (b *BlockSort) OffloadLabel() *sim.OffloadLabel { return blockSortLabel }
+
+var _ OffloadLabeled = (*BlockSort)(nil)
 
 // Sink is a terminal kernel that hands every packet to a user function —
 // typically one that appends to a container on the instance's node,

@@ -48,6 +48,10 @@ type Instance struct {
 	PacketsIn, RecordsIn   int64
 	PacketsOut, RecordsOut int64
 	OpsCharged             float64
+	// OpsOffloaded is the share of OpsCharged whose pure compute ran
+	// behind the offload seam (staged kernels with a non-nil compute).
+	// Deterministic: the staged path runs under every engine.
+	OpsOffloaded float64
 }
 
 // Label identifies the instance for routing diagnostics.
@@ -501,6 +505,12 @@ func (in *Instance) run(proc *sim.Proc) {
 	// parallel engine overlaps it with the virtual Compute charge on a
 	// worker goroutine. Same path, same observable behaviour.
 	async, _ := in.kernel.(AsyncKernel)
+	var lbl *sim.OffloadLabel
+	if async != nil {
+		if l, ok := in.kernel.(OffloadLabeled); ok {
+			lbl = l.OffloadLabel()
+		}
+	}
 	emit := func(pk container.Packet) {
 		if pf != nil && pk.Prov == 0 {
 			// A freshly produced packet (rather than a re-emitted input)
@@ -547,11 +557,14 @@ func (in *Instance) run(proc *sim.Proc) {
 			compute, commit := async.Stage(ctx, pk)
 			var job *sim.Job
 			if compute != nil {
-				job = proc.Go(compute)
+				job = proc.GoLabeled(lbl, compute)
 			}
 			if !in.Stage.NoCPU {
 				ops := cm.PacketOps + float64(pk.Len())*(touch+in.kernel.Compares(pk)*cm.CompareOps)
 				in.OpsCharged += ops
+				if job != nil {
+					in.OpsOffloaded += ops
+				}
 				in.Node.Compute(proc, ops)
 			}
 			job.Wait()
@@ -604,16 +617,20 @@ func (p *Pipeline) FlushTelemetry() {
 	}
 	for _, st := range p.stages {
 		var pks, recs int64
-		var ops float64
+		var ops, offl float64
 		for _, inst := range st.instances {
 			pks += inst.PacketsIn
 			recs += inst.RecordsIn
 			ops += inst.OpsCharged
+			offl += inst.OpsOffloaded
 		}
 		pre := "functor." + st.Name
 		reg.Counter(pre + ".packets").Add(pks)
 		reg.Counter(pre + ".records").Add(recs)
 		reg.Counter(pre + ".ops").Add(int64(ops))
+		if offl > 0 {
+			reg.Counter(pre + ".offload_ops").Add(int64(offl))
+		}
 		if e, ok := st.out.(*Edge); ok {
 			reg.Counter(pre + ".out.net_bytes").Add(e.NetBytes)
 			reg.Counter(pre + ".out.cross_node").Add(e.CrossNode)

@@ -3,37 +3,114 @@
 // sort scratch in records, run-decode buffers in pqueue, and merge
 // frontiers in dsmsort. Pooling this memory is a pure wall-clock
 // optimisation — it never touches virtual time — and it stays safe under
-// the parallel experiment sweeps because sync.Pool is concurrency-safe and
-// every borrower returns only memory it owns exclusively.
+// the parallel engine's offload workers because the pool is sharded and
+// contention-free: a Get or Put never blocks on another goroutine (TryLock
+// probing), and a pool miss just allocates.
+//
+// Scratch pools are the one allocator offloaded closures may draw from on
+// worker goroutines: unlike bufpool, they keep no report-visible gauges, so
+// worker-side draws cannot perturb deterministic output.
 //
 // The cardinal rule: never Put memory that anything else may still
 // reference. Buffers that escape into containers, packets, or bte engines
 // are owned by those structures and must not be pooled.
 package scratch
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// Pool is a typed free list of *T. Pooling pointers (rather than slice or
-// struct values) keeps Get/Put allocation-free in steady state: a slice
-// stored directly in a sync.Pool would be boxed into an interface on every
-// Put. The zero value is ready to use.
-type Pool[T any] struct{ p sync.Pool }
+const (
+	// shardCount spreads free lists across independently locked shards so
+	// offload workers draining merge or sort kernels never serialize on one
+	// mutex. Power of two for mask indexing; a few shards per worker at
+	// typical offload worker counts.
+	shardCount = 8
+	// shardCap bounds each shard's list so a burst of returns cannot pin
+	// unbounded memory; overflow is dropped to the GC.
+	shardCap = 64
+)
 
-// Get returns a pooled *T, or a new zero T if the pool is empty.
+// Pool is a typed free list of *T, sharded for contention-free concurrent
+// use. Pooling pointers (rather than slice or struct values) keeps Get/Put
+// allocation-free in steady state. The zero value is ready to use.
+//
+// Get and Put only ever TryLock: under contention they move to the next
+// shard rather than block, so the pool adds no lock-wait to the offload
+// fast path — the worst case is a fresh allocation (Get) or a dropped
+// buffer (Put), never a stall.
+type Pool[T any] struct {
+	// tick rotates the starting shard so concurrent borrowers spread out
+	// instead of convoying on shard 0.
+	tick   atomic.Uint32
+	shards [shardCount]poolShard[T]
+}
+
+type poolShard[T any] struct {
+	mu   sync.Mutex
+	free []*T
+	// Pad each shard past a cache line so neighbouring shard locks do not
+	// false-share.
+	_ [32]byte
+}
+
+// Get returns a pooled *T, or a new zero T if every shard is empty or busy.
 func (p *Pool[T]) Get() *T {
-	if v, ok := p.p.Get().(*T); ok {
-		return v
+	start := p.tick.Add(1)
+	for i := uint32(0); i < shardCount; i++ {
+		s := &p.shards[(start+i)&(shardCount-1)]
+		if !s.mu.TryLock() {
+			continue
+		}
+		var v *T
+		if n := len(s.free); n > 0 {
+			v = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+		}
+		s.mu.Unlock()
+		if v != nil {
+			return v
+		}
 	}
 	return new(T)
 }
 
 // Put returns v to the pool; v must not be used afterwards. Callers are
 // responsible for not retaining references out of *v that would pin large
-// memory (truncate, don't nil, slices you intend to reuse).
+// memory (truncate, don't nil, slices you intend to reuse). When every
+// shard is full or busy, v is dropped to the GC.
 func (p *Pool[T]) Put(v *T) {
-	if v != nil {
-		p.p.Put(v)
+	if v == nil {
+		return
 	}
+	start := p.tick.Add(1)
+	for i := uint32(0); i < shardCount; i++ {
+		s := &p.shards[(start+i)&(shardCount-1)]
+		if !s.mu.TryLock() {
+			continue
+		}
+		if len(s.free) < shardCap {
+			s.free = append(s.free, v)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Pooled reports how many items are currently parked across all shards
+// (approximate under concurrency; exact when quiescent). Test hook.
+func (p *Pool[T]) Pooled() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.free)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Grow returns sl resized to length n, reallocating only when the backing

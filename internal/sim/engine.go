@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 )
 
 // EngineKind selects one of the two event-loop engines.
@@ -31,8 +34,17 @@ func (k EngineKind) String() string {
 type EngineSpec struct {
 	Kind EngineKind
 	// Workers is the parallel engine's worker-goroutine count; <= 0 means
-	// one per CPU (GOMAXPROCS). Ignored by the serial engine.
+	// one per CPU (GOMAXPROCS). Ignored by the serial engine and when
+	// Groups is set.
 	Workers int
+	// Groups, when positive, partitions the parallel engine's offload
+	// execution into that many node groups: partition p's closures run on
+	// the dedicated worker owning group p mod Groups, in issue order, so
+	// same-window work in independent groups executes concurrently while
+	// each group keeps single-owner cache affinity (the PARSIR-style
+	// partitioned scheduling step). Zero (the default) uses one shared
+	// worker pool. Results are byte-identical either way.
+	Groups int
 }
 
 // ParseEngineSpec resolves an engine name ("", "serial", or "parallel") and
@@ -57,17 +69,42 @@ func ParseEngineSpec(name string, workers int) (EngineSpec, error) {
 type Engine interface {
 	// Kind reports which engine this is.
 	Kind() EngineKind
-	// Workers reports the wall-clock worker count (1 for serial).
+	// Workers reports the wall-clock worker count (1 for serial; the
+	// group count for a grouped parallel engine).
 	Workers() int
 
 	// offload runs a side-effect-free closure on behalf of a proc pinned
-	// to part; the returned Job's Wait blocks (wall clock only) until the
-	// closure has finished.
-	offload(part int32, fn func()) *Job
+	// to part (-1 for harness work outside any proc); the returned Job's
+	// Wait blocks (wall clock only) until the closure has finished. A
+	// non-nil label tags the worker's profiler samples.
+	offload(part int32, lbl *OffloadLabel, fn func()) *Job
 	// drain joins every outstanding offloaded closure and releases any
 	// worker goroutines; the run loop calls it when the event queue
 	// empties and on Shutdown.
 	drain()
+}
+
+// OffloadLabel names an offloaded kernel for CPU profiles: workers running a
+// labeled closure carry pprof goroutine labels {kernel, stage}, so
+// -cpuprofile attributes offloaded time per kernel instead of lumping every
+// worker sample together. Declare one per kernel at package level and reuse
+// it — the label set is built once and shared, so labeling is allocation-free
+// per offload.
+type OffloadLabel struct {
+	Kernel string // kernel name, e.g. "blocksort"
+	Stage  string // pipeline stage or phase, e.g. "sort"
+
+	once sync.Once
+	ctx  context.Context
+}
+
+// labelCtx returns the cached pprof-labeled context for l.
+func (l *OffloadLabel) labelCtx() context.Context {
+	l.once.Do(func() {
+		l.ctx = pprof.WithLabels(context.Background(),
+			pprof.Labels("kernel", l.Kernel, "stage", l.Stage))
+	})
+	return l.ctx
 }
 
 // Job is a handle to an offloaded compute closure (see Proc.Go). The zero
@@ -97,7 +134,48 @@ func (j *Job) Wait() {
 // simulation's critical path. Either way the simulation's virtual-time
 // behaviour is identical.
 func (p *Proc) Go(fn func()) *Job {
-	return p.sim.engine.offload(p.part, fn)
+	return p.sim.engine.offload(p.part, nil, fn)
+}
+
+// GoLabeled is Go with a pprof kernel label on the worker (see OffloadLabel).
+// A nil label is equivalent to Go.
+func (p *Proc) GoLabeled(lbl *OffloadLabel, fn func()) *Job {
+	return p.sim.engine.offload(p.part, lbl, fn)
+}
+
+// Offload runs fn through the engine's worker pool outside any proc context —
+// the hook harness work (input generation, output validation) shares with
+// in-simulation kernels. The same purity contract as Proc.Go applies. Under
+// the serial engine fn runs inline. Offload is only safe from the goroutine
+// driving the simulation (the harness between or around Run calls, or the
+// spine itself); it is not a general-purpose thread pool.
+func (s *Sim) Offload(lbl *OffloadLabel, fn func()) *Job {
+	return s.engine.offload(-1, lbl, fn)
+}
+
+// ExecChunks runs task(0..n-1) through the engine's worker pool and returns
+// when all have finished. Chunk decomposition is the caller's: results must
+// not depend on execution order or concurrency (each task owns its chunk
+// exclusively). Under the serial engine this is a plain loop. Like Offload,
+// it is only safe from the goroutine driving the simulation.
+func (s *Sim) ExecChunks(lbl *OffloadLabel, n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if s.engine.Kind() == EngineSerial || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	jobs := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = s.engine.offload(-1, lbl, func() { task(i) })
+	}
+	for _, j := range jobs {
+		j.Wait()
+	}
 }
 
 // serialEngine runs offloaded closures inline: Go executes fn on the spot
@@ -113,7 +191,7 @@ func (serialEngine) Kind() EngineKind { return EngineSerial }
 
 func (serialEngine) Workers() int { return 1 }
 
-func (serialEngine) offload(part int32, fn func()) *Job {
+func (serialEngine) offload(part int32, lbl *OffloadLabel, fn func()) *Job {
 	fn()
 	return completedJob
 }
@@ -133,10 +211,13 @@ func NewWithEngine(spec EngineSpec) *Sim {
 	}
 	if spec.Kind == EngineParallel {
 		w := spec.Workers
-		if w <= 0 {
+		if spec.Groups > 0 {
+			// One dedicated worker per group owns that group's ring.
+			w = spec.Groups
+		} else if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		p := &parallelEngine{sim: s, workers: w}
+		p := &parallelEngine{sim: s, workers: w, groups: spec.Groups}
 		s.engine = p
 		s.par = p
 	} else {

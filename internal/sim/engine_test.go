@@ -34,20 +34,65 @@ func TestParseEngineSpec(t *testing.T) {
 }
 
 // engineSpecs are the configurations every cross-engine test sweeps: the
-// serial reference and the parallel engine at the worker counts the issue
-// pins (1, 2, 8).
+// serial reference, the parallel engine at the worker counts the issue
+// pins (1, 2, 8), and partition-group mode at 1, 2, and 4 groups.
 var engineSpecs = []EngineSpec{
 	{Kind: EngineSerial},
 	{Kind: EngineParallel, Workers: 1},
 	{Kind: EngineParallel, Workers: 2},
 	{Kind: EngineParallel, Workers: 8},
+	{Kind: EngineParallel, Groups: 1},
+	{Kind: EngineParallel, Groups: 2},
+	{Kind: EngineParallel, Groups: 4},
 }
 
 func specLabel(spec EngineSpec) string {
 	if spec.Kind == EngineSerial {
 		return "serial"
 	}
+	if spec.Groups > 0 {
+		return fmt.Sprintf("parallel-g%d", spec.Groups)
+	}
 	return fmt.Sprintf("parallel-%d", spec.Workers)
+}
+
+// TestGroupModeWorkers: partition-group mode dedicates exactly one worker
+// per group, overriding Workers.
+func TestGroupModeWorkers(t *testing.T) {
+	s := NewWithEngine(EngineSpec{Kind: EngineParallel, Workers: 8, Groups: 3})
+	if got := s.Engine().Workers(); got != 3 {
+		t.Fatalf("grouped engine Workers() = %d, want one per group (3)", got)
+	}
+	if got := NewWithEngine(EngineSpec{}).Engine().Workers(); got != 1 {
+		t.Fatalf("serial engine Workers() = %d, want 1", got)
+	}
+}
+
+// TestHarnessOffload: Sim.Offload and Sim.ExecChunks — the seam harness work
+// (input generation, validation) runs through — complete all tasks exactly
+// once under every engine, including partition-group mode where harness work
+// (part = -1) is spread round-robin across group rings.
+func TestHarnessOffload(t *testing.T) {
+	lbl := &OffloadLabel{Kernel: "testkern", Stage: "harness"}
+	for _, spec := range engineSpecs {
+		t.Run(specLabel(spec), func(t *testing.T) {
+			s := NewWithEngine(spec)
+			var x int
+			s.Offload(lbl, func() { x = 7 }).Wait()
+			if x != 7 {
+				t.Fatalf("Offload result = %d after Wait, want 7", x)
+			}
+			const n = 100
+			out := make([]int, n)
+			s.ExecChunks(lbl, n, func(i int) { out[i] = i * i })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("ExecChunks task %d wrote %d, want %d", i, v, i*i)
+				}
+			}
+			s.Shutdown()
+		})
+	}
 }
 
 // TestGoWaitBothEngines: an offloaded closure's writes are visible after

@@ -1,14 +1,16 @@
 package sim
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 )
 
-// parallelEngine runs offloaded closures (Proc.Go) on a pool of worker
-// goroutines while the deterministic event-dispatch spine — identical to
-// the serial engine's — advances the simulation. Determinism is preserved
-// by construction: closures are side-effect-free with respect to simulation
+// parallelEngine runs offloaded closures (Proc.Go) on worker goroutines
+// while the deterministic event-dispatch spine — identical to the serial
+// engine's — advances the simulation. Determinism is preserved by
+// construction: closures are side-effect-free with respect to simulation
 // state, so only wall-clock timing changes with the worker count.
 //
 // The engine is conservative in the PDES sense: virtual time never advances
@@ -19,13 +21,37 @@ import (
 // device-model action at least one network latency after its issue site
 // observed them, the barrier guarantees workers are never racing the spine
 // when their output becomes visible.
+//
+// Two scheduling modes share the barrier machinery:
+//
+//   - Shared pool (groups == 0): closures from any partition feed one work
+//     channel drained by `workers` goroutines. Maximum throughput when
+//     kernels are uniform.
+//   - Partition groups (groups > 0): partition p's closures go to the ring
+//     owned by group p mod groups, each drained by a single dedicated
+//     worker in issue order. Same-window work in independent groups runs
+//     concurrently, and a group's closures never migrate between OS
+//     threads mid-phase — the cache-affinity/partitioned-scheduling shape
+//     PARSIR uses for large partition counts. Harness offloads (part = -1)
+//     are spread round-robin across groups.
+//
+// Either mode is invisible to the simulation: the dispatch spine stays
+// serial and deterministic, so results are byte-identical across modes,
+// worker counts, and group counts.
 type parallelEngine struct {
 	sim     *Sim
 	workers int
+	// groups > 0 enables per-group rings (see above); 0 = shared pool.
+	groups int
 
-	// work feeds the worker pool; nil until the first offload (runs that
-	// never offload never spin up goroutines).
+	// work feeds the shared worker pool; nil until the first offload (runs
+	// that never offload never spin up goroutines). Unused in group mode.
 	work chan *parallelJob
+	// groupWork holds one ring per group; nil until the first offload.
+	// Unused in shared-pool mode.
+	groupWork []chan *parallelJob
+	// spread round-robins harness offloads (part = -1) across groups.
+	spread uint32
 	// outstanding counts issued-but-unfinished closures. Incremented on
 	// the spine, decremented by workers; the spine's barrier fast path
 	// reads it to skip the join when nothing is in flight.
@@ -38,6 +64,7 @@ type parallelEngine struct {
 
 type parallelJob struct {
 	fn   func()
+	lbl  *OffloadLabel
 	done chan struct{}
 }
 
@@ -45,22 +72,50 @@ func (e *parallelEngine) Kind() EngineKind { return EngineParallel }
 
 func (e *parallelEngine) Workers() int { return e.workers }
 
-func (e *parallelEngine) offload(part int32, fn func()) *Job {
+func (e *parallelEngine) offload(part int32, lbl *OffloadLabel, fn func()) *Job {
+	j := &parallelJob{fn: fn, lbl: lbl, done: make(chan struct{})}
+	e.outstanding.Add(1)
+	if e.groups > 0 {
+		if e.groupWork == nil {
+			e.groupWork = make([]chan *parallelJob, e.groups)
+			for g := range e.groupWork {
+				e.groupWork[g] = make(chan *parallelJob, 8)
+				go worker(e.groupWork[g], &e.outstanding)
+			}
+		}
+		g := 0
+		if part >= 0 {
+			g = int(part) % e.groups
+		} else {
+			g = int(e.spread) % e.groups
+			e.spread++
+		}
+		e.groupWork[g] <- j
+		return &Job{done: j.done}
+	}
 	if e.work == nil {
 		e.work = make(chan *parallelJob, 4*e.workers)
 		for i := 0; i < e.workers; i++ {
 			go worker(e.work, &e.outstanding)
 		}
 	}
-	j := &parallelJob{fn: fn, done: make(chan struct{})}
-	e.outstanding.Add(1)
 	e.work <- j
 	return &Job{done: j.done}
 }
 
 func worker(work chan *parallelJob, outstanding *atomic.Int64) {
 	for j := range work {
-		j.fn()
+		if j.lbl != nil {
+			// Tag this worker's profiler samples with the kernel label
+			// for the closure's duration, then drop back to unlabeled.
+			// SetGoroutineLabels is a pointer store — cheap enough for
+			// the per-packet offload path.
+			pprof.SetGoroutineLabels(j.lbl.labelCtx())
+			j.fn()
+			pprof.SetGoroutineLabels(context.Background())
+		} else {
+			j.fn()
+		}
 		close(j.done)
 		outstanding.Add(-1)
 	}
@@ -97,5 +152,9 @@ func (e *parallelEngine) drain() {
 		close(e.work)
 		e.work = nil
 	}
+	for _, w := range e.groupWork {
+		close(w)
+	}
+	e.groupWork = nil
 	e.windowEnd = 0
 }
