@@ -34,6 +34,13 @@ bench-allocs:
 		echo "bench-allocs: $$allocs allocs/op exceeds budget $(ALLOC_BUDGET)"; exit 1; \
 	fi; \
 	echo "bench-allocs: $$allocs allocs/op within budget $(ALLOC_BUDGET)"
+	@out=$$(go test ./internal/sim -run 'TestXXX' -bench BenchmarkSpawnKillSteadyState -benchmem -benchtime 100000x | tee /dev/stderr); \
+	allocs=$$(echo "$$out" | awk '/BenchmarkSpawnKillSteadyState/ {print $$(NF-1)}'); \
+	if [ -z "$$allocs" ]; then echo "bench-allocs: could not parse spawn/kill allocs/op"; exit 1; fi; \
+	if [ "$$allocs" -gt 0 ]; then \
+		echo "bench-allocs: steady-state spawn/kill is $$allocs allocs/op, want 0 (proc recycling broken?)"; exit 1; \
+	fi; \
+	echo "bench-allocs: steady-state spawn/kill alloc-free"
 
 # Regenerate the CI perf-gate baseline after an INTENTIONAL performance
 # change (simulated runtimes moved for a good reason). -stamp=false keeps

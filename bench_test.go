@@ -412,6 +412,34 @@ func BenchmarkOnePass(b *testing.B) {
 	b.ReportMetric(cell.DSMSecs, "dsmsort-virtual-s")
 }
 
+// BenchmarkOpenLoopChurn regenerates TAB-CHURN: the open-loop Poisson job
+// stream over short-lived procs. Each op is 100k arrivals — 100k proc
+// lifecycles and two million scheduled events (a 20-horizon deadline ladder
+// per job, CPU/disk/net charges, queue handoffs), with over a million
+// timers in flight at the arrival-phase peak — so ns/op here tracks the
+// raw kernel churn cost: the timer tier, proc recycling, and batched queue
+// drains. The custom metrics confirm the run stays at its operating point.
+func BenchmarkOpenLoopChurn(b *testing.B) {
+	opt := experiments.DefaultOpenLoopOptions()
+	opt.Jobs = 100000
+	opt.Timeout = 2 * sim.Second
+	opt.Deadlines = 20
+	var res *experiments.OpenLoopResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunOpenLoop(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != opt.Jobs {
+			b.Fatalf("completed %d of %d jobs", res.Completed, opt.Jobs)
+		}
+	}
+	b.ReportMetric(res.Goodput, "virtual-jobs/s")
+	b.ReportMetric(res.P99.Seconds()*1e3, "p99-virtual-ms")
+	b.ReportMetric(float64(res.Misses), "slo-misses")
+}
+
 // BenchmarkWorkEquation regenerates TAB-WORK: measured CPU work tracks the
 // paper's n·log(αβγ) equation across configurations with αβγ fixed.
 func BenchmarkWorkEquation(b *testing.B) {

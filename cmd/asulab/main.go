@@ -85,6 +85,8 @@ func main() {
 		err = runAdapt(args)
 	case "onepass":
 		err = runOnePass(args)
+	case "openloop":
+		err = runOpenLoop(args)
 	case "trace":
 		err = runTrace(args)
 	case "all":
@@ -119,6 +121,7 @@ commands:
   filter     selection-scan filter pushdown vs selectivity (TAB-FILTER)
   adapt      mid-run routing-policy adaptation under skew (TAB-ADAPT)
   onepass    one-pass cluster sort vs DSM-Sort across the memory wall (TAB-ONEPASS)
+  openloop   open-loop churn: Poisson job stream over short-lived procs (TAB-CHURN)
   trace      record a structured trace of a small DSM-Sort (Perfetto JSON or CSV)
   all        run everything at default sizes`)
 }
@@ -344,6 +347,31 @@ func runOnePass(args []string) error {
 	return nil
 }
 
+func runOpenLoop(args []string) error {
+	fs := flag.NewFlagSet("openloop", flag.ExitOnError)
+	opt := experiments.DefaultOpenLoopOptions()
+	fs.IntVar(&opt.Jobs, "jobs", opt.Jobs, "total arrivals")
+	fs.Float64Var(&opt.Rate, "rate", opt.Rate, "arrival rate (jobs per virtual second)")
+	fs.IntVar(&opt.Hosts, "hosts", opt.Hosts, "host count")
+	fs.IntVar(&opt.ASUs, "asus", opt.ASUs, "ASU count")
+	fs.Float64Var(&opt.ZipfS, "zipf", opt.ZipfS, "Zipf skew for ASU choice (<=1 uniform)")
+	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	report := fs.String("report", "", "write the run's RunReport here (engine-independent: CI cmps serial vs parallel)")
+	fs.Parse(args)
+	res, err := experiments.RunOpenLoop(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Table())
+	if *report != "" {
+		if err := telemetry.WriteJSON(*report, res.Report); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", *report)
+	}
+	return nil
+}
+
 // runTrace records a structured trace of one small DSM-Sort run and writes
 // it to a file: Chrome trace-event JSON (open in Perfetto or
 // chrome://tracing) or, with a .csv output name, a flat time series.
@@ -407,6 +435,7 @@ func runAll() error {
 		{"filter", runFilter},
 		{"adapt", runAdapt},
 		{"onepass", runOnePass},
+		{"openloop", runOpenLoop},
 	}
 	for _, s := range steps {
 		fmt.Printf("== %s ==\n", s.name)

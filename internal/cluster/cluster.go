@@ -350,6 +350,11 @@ type Cluster struct {
 	samplers    []*clusterSampler
 	queueProbes []queueProbe
 	wantProbes  bool
+
+	// lastSched remembers the scheduler-tier counters already copied into
+	// the telemetry registry, so repeated BuildReport calls add deltas
+	// instead of double-counting.
+	lastSched sim.SchedStats
 }
 
 // New builds a cluster on a fresh simulator. It panics if p is invalid; use
@@ -528,9 +533,23 @@ func (c *Cluster) BuildReport(name string, seed int64, elapsed sim.Duration) *te
 			NIC:       telemetry.UtilSeriesOf(n.NICTrace),
 		})
 	}
+	c.fillSchedStats()
 	c.Telemetry.Fill(rep)
 	if c.Profiler != nil {
 		rep.Critpath = c.Profiler.Report()
 	}
 	return rep
+}
+
+// fillSchedStats copies the sim kernel's scheduler-tier activity (timer-wheel
+// hits, near-deadline heap spills, recycled proc shells) into the telemetry
+// registry, so every RunReport — and hence `lmasreport show` — can explain
+// scheduler behavior per run. The kernel counts non-daemon events only, so
+// these counters are byte-identical across engines and recording.
+func (c *Cluster) fillSchedStats() {
+	st := c.Sim.SchedStats()
+	c.Telemetry.Counter("sim.scheduler.wheel_hits").Add(int64(st.WheelHits - c.lastSched.WheelHits))
+	c.Telemetry.Counter("sim.scheduler.heap_spills").Add(int64(st.HeapSpills - c.lastSched.HeapSpills))
+	c.Telemetry.Counter("sim.scheduler.proc_reuses").Add(int64(st.ProcReuses - c.lastSched.ProcReuses))
+	c.lastSched = st
 }

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lmas/internal/cluster"
+	"lmas/internal/metrics"
+	"lmas/internal/sim"
+	"lmas/internal/telemetry"
+)
+
+// OpenLoopOptions parameterizes TAB-CHURN's macro workload: an open-loop
+// stream of short storage jobs arriving at the hosts regardless of service
+// progress, each routed to a (Zipf-skewed) ASU, queued, and served in
+// batches. Every job is a short-lived proc and arms a far-future timeout
+// timer, so the workload exercises exactly the kernel paths the scheduler
+// tier, proc recycling, and batched queue ops optimize — at tens of
+// thousands of lifecycles and millions of in-flight events.
+type OpenLoopOptions struct {
+	Hosts int
+	ASUs  int
+	// Jobs is the total number of arrivals.
+	Jobs int
+	// Rate is the arrival rate in jobs per second of virtual time; the
+	// exponential inter-arrival times make the stream Poisson.
+	Rate float64
+	// ZipfS skews the ASU choice (1 < s; higher = hotter head). 0 means
+	// uniform.
+	ZipfS float64
+	// HostOps and ASUOps are the per-job CPU costs on each side.
+	HostOps float64
+	ASUOps  float64
+	// ReadBytes is the per-job payload read from the ASU's disk.
+	ReadBytes int
+	// QueueCap bounds each ASU's job queue.
+	QueueCap int
+	// Batch is the server's maximum GetN drain per wakeup.
+	Batch int
+	// Timeout arms a far-future deadline per job; jobs still queued when it
+	// fires count as SLO misses. The horizon is what pushes timer load into
+	// the wheel's outer levels.
+	Timeout sim.Duration
+	// Deadlines arms one probe per horizon i*Timeout (i = 1..Deadlines) per
+	// job — multi-horizon SLO tracking. Only the first probe counts misses;
+	// the rest keep hundreds of thousands of far timers in flight, which is
+	// the in-flight event load the scheduler tier is built to carry.
+	Deadlines int
+	Base      cluster.Params
+	Seed      int64
+}
+
+// DefaultOpenLoopOptions sizes the workload so a run exercises every wheel
+// level while finishing in well under a second of wall clock.
+func DefaultOpenLoopOptions() OpenLoopOptions {
+	return OpenLoopOptions{
+		Hosts:     2,
+		ASUs:      8,
+		Jobs:      20000,
+		Rate:      5e3,
+		ZipfS:     1.3,
+		HostOps:   200,
+		ASUOps:    500,
+		ReadBytes: 4 << 10,
+		QueueCap:  256,
+		Batch:     64,
+		Timeout:   sim.Second,
+		Deadlines: 10,
+		Base:      cluster.DefaultParams(),
+		Seed:      42,
+	}
+}
+
+// OpenLoopResult holds one run's measurements.
+type OpenLoopResult struct {
+	Options   OpenLoopOptions
+	Completed int
+	// Misses counts jobs whose timeout fired before service finished.
+	Misses int
+	// Elapsed spans arrival of the first job to completion of the last;
+	// the run itself extends further while leftover timeout timers drain.
+	Elapsed        sim.Duration
+	P50, P99, P999 sim.Duration
+	// Goodput is completed jobs per second of Elapsed.
+	Goodput float64
+	Report  *telemetry.RunReport
+}
+
+// Table renders the headline numbers plus the scheduler counters that the
+// run's report exports.
+func (r *OpenLoopResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("TAB-CHURN: open-loop churn, %d jobs @ %.0f/s over %d hosts / %d ASUs",
+			r.Options.Jobs, r.Options.Rate, r.Options.Hosts, r.Options.ASUs),
+		"metric", "value")
+	t.AddRow("completed", r.Completed)
+	t.AddRow("SLO misses", r.Misses)
+	t.AddRow("elapsed(s)", r.Elapsed.Seconds())
+	t.AddRow("goodput(jobs/s)", r.Goodput)
+	t.AddRow("p50(ms)", r.P50.Seconds()*1e3)
+	t.AddRow("p99(ms)", r.P99.Seconds()*1e3)
+	t.AddRow("p99.9(ms)", r.P999.Seconds()*1e3)
+	for _, c := range r.Report.Counters {
+		switch c.Name {
+		case "sim.scheduler.wheel_hits", "sim.scheduler.heap_spills", "sim.scheduler.proc_reuses":
+			t.AddRow(c.Name, c.Value)
+		}
+	}
+	return t
+}
+
+type openJob struct {
+	id      int
+	arrival sim.Time
+}
+
+// RunOpenLoop executes the open-loop churn workload. The dispatch history is
+// engine-independent: the generator is a single proc, every shared mutation
+// happens inside dispatched events, and the report it builds must be
+// byte-identical across the serial and parallel engines (CI cmps it).
+func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
+	params := opt.Base
+	params.Hosts, params.ASUs = opt.Hosts, opt.ASUs
+	cl := cluster.New(params)
+	cl.AttachTelemetry(telemetry.NewRegistry(), 100*sim.Millisecond)
+	s := cl.Sim
+
+	queues := make([]*sim.Queue[openJob], opt.ASUs)
+	for i := range queues {
+		queues[i] = sim.NewQueue[openJob](s, fmt.Sprintf("asu%d.jobs", i), opt.QueueCap)
+	}
+
+	var (
+		latencies = make([]sim.Duration, 0, opt.Jobs)
+		completed = make([]bool, opt.Jobs)
+		delivered = 0
+		misses    = 0
+		firstAt   sim.Time
+		lastAt    sim.Time
+	)
+
+	// Per-ASU server: drain the queue in batches, charge CPU and disk per
+	// job, and exit on the sentinel the generator enqueues after the last
+	// delivery. FIFO order guarantees the sentinel is seen last.
+	for i, asu := range cl.ASUs {
+		i, asu := i, asu
+		q := queues[i]
+		s.SpawnOn(asu.Part, fmt.Sprintf("server@asu%d", i), func(p *sim.Proc) {
+			batch := make([]openJob, opt.Batch)
+			for {
+				n, ok := q.GetN(p, batch)
+				if !ok {
+					return
+				}
+				for _, j := range batch[:n] {
+					if j.id < 0 {
+						return
+					}
+					// Reads stream sequentially per ASU (read-ahead credit
+					// applies): the workload stresses the scheduler, not
+					// seek time.
+					asu.Compute(p, opt.ASUOps+cl.Touch(asu))
+					if opt.ReadBytes > 0 {
+						asu.Disk.Read(p, opt.ReadBytes)
+					}
+					completed[j.id] = true
+					latencies = append(latencies, sim.Duration(p.Now()-j.arrival))
+					lastAt = p.Now()
+				}
+			}
+		})
+	}
+
+	// Open-loop generator: Poisson arrivals, Zipf ASU choice, one
+	// short-lived proc per job. The rng is touched only here, so the
+	// schedule is a pure function of the seed.
+	s.Spawn("generator", func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		var zipf *rand.Zipf
+		if opt.ZipfS > 1 {
+			zipf = rand.NewZipf(rng, opt.ZipfS, 1, uint64(opt.ASUs-1))
+		}
+		firstAt = p.Now()
+		for id := 0; id < opt.Jobs; id++ {
+			id := id
+			host := cl.Hosts[id%opt.Hosts]
+			asuIdx := 0
+			if zipf != nil {
+				asuIdx = int(zipf.Uint64())
+			} else {
+				asuIdx = rng.Intn(opt.ASUs)
+			}
+			asu := cl.ASUs[asuIdx]
+			arrival := p.Now()
+			// SLO deadlines: a ladder of far-future probes per job,
+			// cancel-by-flag. Only the first horizon counts misses.
+			s.After(opt.Timeout, func() {
+				if !completed[id] {
+					misses++
+				}
+			})
+			for i := 2; i <= opt.Deadlines; i++ {
+				s.After(sim.Duration(i)*opt.Timeout, func() {})
+			}
+			// A constant proc name: a per-job Sprintf would dominate the
+			// workload's own allocation profile at 100k+ jobs.
+			s.SpawnOn(host.Part, "job", func(jp *sim.Proc) {
+				host.Compute(jp, opt.HostOps+cl.Touch(host))
+				cl.Net.Send(jp, host.NIC, asu.NIC, 256)
+				if err := queues[asuIdx].Put(jp, openJob{id: id, arrival: arrival}); err != nil {
+					panic(err)
+				}
+				delivered++
+			})
+			p.Sleep(sim.DurationOf(rng.ExpFloat64() / opt.Rate))
+		}
+		// Wait for the stragglers, then release the servers.
+		for delivered < opt.Jobs {
+			p.Sleep(sim.Millisecond)
+		}
+		for _, q := range queues {
+			if err := q.Put(p, openJob{id: -1}); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &OpenLoopResult{
+		Options:   opt,
+		Completed: len(latencies),
+		Misses:    misses,
+		Elapsed:   sim.Duration(lastAt - firstAt),
+	}
+	sum := metrics.NewSummary(latencies)
+	res.P50, res.P99, res.P999 = sum.P50(), sum.P99(), sum.Percentile(99.9)
+	if res.Elapsed > 0 {
+		res.Goodput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	res.Report = cl.BuildReport("openloop", opt.Seed, res.Elapsed)
+	res.Report.Workload = map[string]any{
+		"program":  "openloop-churn",
+		"jobs":     opt.Jobs,
+		"rate":     opt.Rate,
+		"zipf_s":   opt.ZipfS,
+		"batch":    opt.Batch,
+		"timeout":  int64(opt.Timeout),
+		"misses":   misses,
+		"p50_ns":   int64(res.P50),
+		"p99_ns":   int64(res.P99),
+		"p999_ns":  int64(res.P999),
+		"goodput":  res.Goodput,
+		"complete": res.Completed,
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+
+	"lmas/internal/sim"
+)
+
+// smallOpenLoop keeps the unit-test run fast while still crossing the
+// wheel's near/far threshold (1ms timeouts) and recycling procs.
+func smallOpenLoop() OpenLoopOptions {
+	opt := DefaultOpenLoopOptions()
+	opt.Jobs = 2000
+	opt.Timeout = 10 * sim.Millisecond
+	return opt
+}
+
+func TestOpenLoopCompletes(t *testing.T) {
+	res, err := RunOpenLoop(smallOpenLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2000 {
+		t.Errorf("completed %d jobs, want 2000", res.Completed)
+	}
+	if res.Goodput <= 0 || res.P99 <= 0 {
+		t.Errorf("degenerate metrics: goodput=%v p99=%v", res.Goodput, res.P99)
+	}
+	var hits, spills, reuses int64 = -1, -1, -1
+	for _, c := range res.Report.Counters {
+		switch c.Name {
+		case "sim.scheduler.wheel_hits":
+			hits = c.Value
+		case "sim.scheduler.heap_spills":
+			spills = c.Value
+		case "sim.scheduler.proc_reuses":
+			reuses = c.Value
+		}
+	}
+	// Every job's timeout is a far timer; every job past the warm-up is a
+	// recycled proc. The counters must be present in the report and reflect
+	// that.
+	if hits < int64(res.Options.Jobs) {
+		t.Errorf("wheel hits = %d, want >= %d", hits, res.Options.Jobs)
+	}
+	if spills < 0 {
+		t.Errorf("heap spills counter missing")
+	}
+	if reuses < int64(res.Options.Jobs)/2 {
+		t.Errorf("proc reuses = %d, want >= %d", reuses, res.Options.Jobs/2)
+	}
+}
+
+// TestOpenLoopByteIdenticalAcrossEngines pins the open-loop workload's
+// engine independence: the full result — latency percentiles, miss counts,
+// and the complete RunReport with scheduler counters — must serialize
+// identically on the serial engine and the parallel engine across worker
+// and group configurations. CI repeats this check end-to-end through the
+// asulab binary with cmp.
+func TestOpenLoopByteIdenticalAcrossEngines(t *testing.T) {
+	opt := smallOpenLoop()
+	run := func(engine string, workers, groups int) string {
+		o := opt
+		o.Base.Engine, o.Base.EngineWorkers, o.Base.EngineGroups = engine, workers, groups
+		res, err := RunOpenLoop(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Options = OpenLoopOptions{}
+		return mustJSON(t, res)
+	}
+	ref := run("serial", 0, 0)
+	for _, v := range engineVariants {
+		if got := run("parallel", v.workers, v.groups); got != ref {
+			t.Errorf("%s: result differs from serial reference", v.name)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// batchRun drives one producer/consumer exchange and captures everything an
+// observer could distinguish: each element's dequeue instant, the queue's
+// wait stats, and the completion time. put receives the producer proc and
+// the full payload; consumers pace themselves with a per-element charge so
+// the queue genuinely fills and drains.
+func batchRun(t *testing.T, capacity, n int, consumerPace Duration, put func(p *Proc, q *Queue[int], vs []int)) (log []string, cum Duration, high int) {
+	t.Helper()
+	s := New()
+	q := NewQueue[int](s, "q", capacity)
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = i
+	}
+	s.Spawn("producer", func(p *Proc) {
+		put(p, q, vs)
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			log = append(log, fmt.Sprintf("%d@%d", v, s.Now()))
+			p.Sleep(consumerPace)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cum, high = q.WaitStats()
+	log = append(log, fmt.Sprintf("end@%d", s.Now()))
+	return log, cum, high
+}
+
+// TestPutNMatchesPutLoop: PutN must be observationally identical to a loop
+// of Put — same dequeue instants, same cumulative wait, same high water —
+// including when the batch overflows the queue capacity and the producer
+// parks mid-batch.
+func TestPutNMatchesPutLoop(t *testing.T) {
+	for _, tc := range []struct{ cap, n int }{
+		{4, 16},  // batch far exceeds capacity: parks mid-batch
+		{16, 10}, // batch fits: single append run
+		{8, 8},   // exact fit
+		{1, 5},   // degenerate: every element parks
+	} {
+		loopLog, loopCum, loopHigh := batchRun(t, tc.cap, tc.n, 3*Microsecond,
+			func(p *Proc, q *Queue[int], vs []int) {
+				for _, v := range vs {
+					if err := q.Put(p, v); err != nil {
+						t.Errorf("put: %v", err)
+					}
+				}
+			})
+		batchLog, batchCum, batchHigh := batchRun(t, tc.cap, tc.n, 3*Microsecond,
+			func(p *Proc, q *Queue[int], vs []int) {
+				if err := q.PutN(p, vs); err != nil {
+					t.Errorf("putn: %v", err)
+				}
+			})
+		if len(loopLog) != len(batchLog) {
+			t.Fatalf("cap=%d n=%d: log length %d vs %d", tc.cap, tc.n, len(loopLog), len(batchLog))
+		}
+		for i := range loopLog {
+			if loopLog[i] != batchLog[i] {
+				t.Errorf("cap=%d n=%d: dispatch %d: loop %q batch %q", tc.cap, tc.n, i, loopLog[i], batchLog[i])
+			}
+		}
+		if loopCum != batchCum || loopHigh != batchHigh {
+			t.Errorf("cap=%d n=%d: wait stats loop (%d, %d) vs batch (%d, %d)",
+				tc.cap, tc.n, loopCum, loopHigh, batchCum, batchHigh)
+		}
+	}
+}
+
+// TestGetNMatchesGetLoop: a GetN-draining consumer must observe the same
+// elements at the same instants, and leave the same wait stats, as a
+// consumer issuing one non-blocking Get per buffered element.
+func TestGetNMatchesGetLoop(t *testing.T) {
+	run := func(batched bool) (log []string, cum Duration, high int) {
+		s := New()
+		q := NewQueue[int](s, "q", 32)
+		s.Spawn("producer", func(p *Proc) {
+			v := 0
+			for burst := 0; burst < 8; burst++ {
+				for i := 0; i < 5; i++ {
+					if err := q.Put(p, v); err != nil {
+						t.Errorf("put: %v", err)
+					}
+					v++
+				}
+				p.Sleep(10 * Microsecond)
+			}
+			q.Close()
+		})
+		s.Spawn("consumer", func(p *Proc) {
+			if batched {
+				dst := make([]int, 32)
+				for {
+					k, ok := q.GetN(p, dst)
+					if !ok {
+						return
+					}
+					for _, v := range dst[:k] {
+						log = append(log, fmt.Sprintf("%d@%d", v, s.Now()))
+					}
+				}
+			} else {
+				for {
+					v, ok := q.Get(p)
+					if !ok {
+						return
+					}
+					log = append(log, fmt.Sprintf("%d@%d", v, s.Now()))
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		cum, high = q.WaitStats()
+		log = append(log, fmt.Sprintf("end@%d", s.Now()))
+		return
+	}
+	loopLog, loopCum, loopHigh := run(false)
+	batchLog, batchCum, batchHigh := run(true)
+	if fmt.Sprint(loopLog) != fmt.Sprint(batchLog) {
+		t.Errorf("logs differ:\nloop:  %v\nbatch: %v", loopLog, batchLog)
+	}
+	if loopCum != batchCum || loopHigh != batchHigh {
+		t.Errorf("wait stats loop (%d, %d) vs batch (%d, %d)", loopCum, loopHigh, batchCum, batchHigh)
+	}
+}
+
+// TestPutNHighWater pins the satellite contract: the high-water gauge is
+// updated once per append run with the post-run depth, which must equal
+// what a per-element loop would have recorded.
+func TestPutNHighWater(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q", 8)
+	s.Spawn("producer", func(p *Proc) {
+		if err := q.PutN(p, []int{1, 2, 3}); err != nil {
+			t.Errorf("putn: %v", err)
+		}
+		if _, high := q.WaitStats(); high != 3 {
+			t.Errorf("high water after first batch = %d, want 3", high)
+		}
+		if _, ok := q.Get(p); !ok {
+			t.Error("get failed")
+		}
+		// Depth is 2; this batch peaks at 7.
+		if err := q.PutN(p, []int{4, 5, 6, 7, 8}); err != nil {
+			t.Errorf("putn: %v", err)
+		}
+		if _, high := q.WaitStats(); high != 7 {
+			t.Errorf("high water after second batch = %d, want 7", high)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutNClosed: closing the queue while a PutN is parked mid-batch fails
+// the call with ErrClosed, keeping the elements already enqueued.
+func TestPutNClosed(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q", 2)
+	s.Spawn("producer", func(p *Proc) {
+		if err := q.PutN(p, []int{1, 2, 3, 4}); err != ErrClosed {
+			t.Errorf("putn on closing queue = %v, want ErrClosed", err)
+		}
+	})
+	s.Spawn("closer", func(p *Proc) {
+		p.Sleep(Microsecond)
+		q.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 {
+		t.Errorf("queue holds %d elements, want the 2 enqueued before close", q.Len())
+	}
+}
+
+// TestProcRecycling pins the free-list contract: sequential short-lived
+// procs inside one run reuse pooled shells, the pool drains when Run
+// returns, and neither killed procs, daemons, nor profiled sims recycle.
+func TestProcRecycling(t *testing.T) {
+	s := New()
+	s.Spawn("gen", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			s.Spawn("w", func(q *Proc) { q.Sleep(Microsecond) })
+			p.Sleep(2 * Microsecond)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.SchedStats(); st.ProcReuses < 8 {
+		t.Errorf("proc reuses = %d, want >= 8", st.ProcReuses)
+	}
+	if len(s.freeProcs) != 0 {
+		t.Errorf("pool holds %d shells after Run, want 0 (drained)", len(s.freeProcs))
+	}
+
+	// Killed procs never pool: their queued wakeup may still reference the
+	// pointer.
+	s2 := New()
+	blocked := s2.Spawn("blocked", func(p *Proc) { p.Sleep(Second) })
+	s2.RunFor(Microsecond)
+	s2.Kill(blocked)
+	if len(s2.freeProcs) != 0 {
+		t.Errorf("killed proc was pooled")
+	}
+	if st := s2.SchedStats(); st.ProcReuses != 0 {
+		t.Errorf("kill path counted %d reuses", st.ProcReuses)
+	}
+
+	// Daemon spawns bypass the pool in both directions, so recorder
+	// samplers can't perturb the pool state the workload observes.
+	s3 := New()
+	s3.Spawn("seed", func(p *Proc) { p.Sleep(Microsecond) })
+	s3.RunFor(10 * Microsecond) // pool now holds the seed shell
+	if len(s3.freeProcs) != 1 {
+		t.Fatalf("pool = %d shells, want 1", len(s3.freeProcs))
+	}
+	d := s3.SpawnDaemon("sampler", func(p *Proc) {
+		for {
+			p.Sleep(Millisecond)
+		}
+	})
+	if len(s3.freeProcs) != 1 {
+		t.Errorf("daemon spawn consumed a pooled shell")
+	}
+	s3.RunFor(10 * Microsecond)
+	s3.Kill(d)
+	s3.Shutdown()
+	if len(s3.freeProcs) != 0 {
+		t.Errorf("pool not drained by Shutdown")
+	}
+
+	// Profiled sims never pool: critpath keys per-proc state by pointer.
+	s4 := New()
+	s4.SetProfiler(nopProfiler{})
+	s4.Spawn("gen", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			s4.Spawn("w", func(q *Proc) { q.Sleep(Microsecond) })
+			p.Sleep(2 * Microsecond)
+		}
+	})
+	if err := s4.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s4.SchedStats(); st.ProcReuses != 0 {
+		t.Errorf("profiled sim reused %d shells, want 0", st.ProcReuses)
+	}
+}
+
+type nopProfiler struct{}
+
+func (nopProfiler) Charge(p *Proc, kind ChargeKind, res string, from, to Time) {}

@@ -103,6 +103,69 @@ func (q *Queue[T]) Put(p *Proc, v T) error {
 	return nil
 }
 
+// PutN appends every element of vs in order, blocking p whenever the queue
+// is full, exactly as a loop of Put would: elements are enqueued in
+// append-runs up to the free space, each run signals notEmpty once per
+// element (so every consumer a loop would wake is woken, in the same
+// order), and the producer waits on notFull between runs. Virtual-time
+// behaviour is therefore identical to the per-element loop; what batching
+// saves is per-call overhead and redundant bookkeeping — the high-water
+// gauge and trace depth are sampled once per run at the post-run depth,
+// which for a monotonically growing run equals the loop's running maximum.
+// It returns ErrClosed if the queue is or becomes closed; elements already
+// enqueued stay.
+func (q *Queue[T]) PutN(p *Proc, vs []T) error {
+	for len(vs) > 0 {
+		for q.n == len(q.buf) && !q.closed {
+			q.notFull.Wait(p)
+		}
+		if q.closed {
+			return ErrClosed
+		}
+		run := len(q.buf) - q.n
+		if run > len(vs) {
+			run = len(vs)
+		}
+		for i := 0; i < run; i++ {
+			slot := (q.head + q.n) % len(q.buf)
+			q.buf[slot] = vs[i]
+			q.enqT[slot] = q.sim.now
+			q.n++
+			q.puts++
+			q.notEmpty.Signal()
+		}
+		if q.n > q.highWater {
+			q.highWater = q.n
+		}
+		q.traceDepth()
+		vs = vs[run:]
+	}
+	return nil
+}
+
+// GetN is the drain fast path: it removes up to len(dst) buffered elements
+// into dst, blocking p only while the queue is empty (like a single Get).
+// It never blocks to fill dst — whatever is buffered when the queue becomes
+// non-empty is taken, up to len(dst). Returns the number of elements taken,
+// with ok=false when the queue is closed and drained. Wait accounting is
+// unchanged: each element is dequeued through the same path as Get.
+func (q *Queue[T]) GetN(p *Proc, dst []T) (n int, ok bool) {
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait(p)
+	}
+	if q.n == 0 {
+		return 0, false
+	}
+	k := q.n
+	if k > len(dst) {
+		k = len(dst)
+	}
+	for i := 0; i < k; i++ {
+		dst[i] = q.take()
+	}
+	return k, true
+}
+
 // TryPut appends v without blocking; it reports whether v was accepted.
 func (q *Queue[T]) TryPut(v T) bool {
 	if q.closed || q.n == len(q.buf) {

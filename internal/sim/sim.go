@@ -22,9 +22,14 @@ import (
 type event struct {
 	t    Time
 	part int32
-	seq  uint64
-	fn   func()
-	proc *Proc
+	// viaWheel marks an event that was staged in the timer wheel before
+	// spilling into the heap; countPopped uses it to attribute dispatched
+	// events to the scheduler tier (packs into part's padding, costs no
+	// space).
+	viaWheel bool
+	seq      uint64
+	fn       func()
+	proc     *Proc
 }
 
 // before reports whether e fires ahead of f in (time, partition, seq) order.
@@ -44,11 +49,20 @@ func (e event) before(f event) bool {
 // more than one).
 type Sim struct {
 	now Time
-	// events is a hand-rolled binary min-heap ordered by (t, seq). It is
-	// not container/heap because that interface boxes every popped event
-	// into an interface value — one allocation per event — and this is
-	// the hottest path in the emulator.
-	events []event
+	// events is a hand-rolled binary min-heap ordered by (t, part, seq).
+	// It is not container/heap because that interface boxes every popped
+	// event into an interface value — one allocation per event — and this
+	// is the hottest path in the emulator. The heap holds only current and
+	// near-deadline events; far-future timers stage in wheel until
+	// syncTier spills them (see wheel.go).
+	events eventHeap
+	// wheel is the hierarchical timer tier, allocated lazily on the first
+	// far-future insert so short sims never pay its footprint.
+	wheel *timerWheel
+	// disableWheel forces every event through the reference heap; the
+	// wheel-vs-heap differential tests use it to prove the tier never
+	// reorders a dispatch.
+	disableWheel bool
 	// nowqs holds events scheduled for the current instant, one FIFO ring
 	// per partition, consumed before the heap advances time. Scheduling
 	// "at now" is the dominant case (proc wakeups from conds, resources,
@@ -100,7 +114,32 @@ type Sim struct {
 	// periodic observer (see SpawnDaemon) therefore never extends a run's
 	// virtual end time, and a later Run resumes it alongside new work.
 	liveEvents int
+
+	// freeProcs is the pool of exited proc shells whose goroutines are
+	// parked awaiting reuse; see procRun. Daemons and profiled sims never
+	// pool (daemon spawns must not perturb pool state across recorded and
+	// unrecorded runs, and the critpath profiler keys state by *Proc).
+	freeProcs []*Proc
+
+	// stats counts scheduler-tier activity for non-daemon events only, so
+	// the numbers are identical across engines and with or without a
+	// recorder attached (daemon samplers never contribute).
+	stats SchedStats
 }
+
+// SchedStats reports scheduler-tier activity: how many far-future events
+// the timer wheel absorbed, how many of those were spilled into the heap
+// and dispatched, and how many proc spawns reused a pooled shell. Daemon
+// events are excluded throughout, keeping every count a pure function of
+// the non-daemon schedule (byte-identical across engines and recording).
+type SchedStats struct {
+	WheelHits  uint64
+	HeapSpills uint64
+	ProcReuses uint64
+}
+
+// SchedStats returns the scheduler-tier counters accumulated so far.
+func (s *Sim) SchedStats() SchedStats { return s.stats }
 
 // purger is a wait-list owner that can remove a killed proc from its queue.
 type purger interface {
@@ -153,7 +192,69 @@ func (s *Sim) schedule(t Time, fn func(), p *Proc) {
 		s.nowActive[part>>6] |= 1 << (uint(part) & 63)
 		return
 	}
-	s.heapPush(e)
+	// Near-deadline events go straight to the heap; far-future ones stage
+	// in the wheel at O(1) and spill near their deadline (see syncTier).
+	if s.disableWheel || tickOf(t)-tickOf(s.now) < wheelNearTicks {
+		s.events.push(e)
+		return
+	}
+	w := s.wheel
+	if w == nil {
+		w = newTimerWheel(tickOf(s.now))
+		s.wheel = w
+	} else if w.count == 0 {
+		// Catch the horizon up while the wheel is empty so placement
+		// levels stay tight; with events held, syncTier owns the horizon.
+		w.reset(tickOf(s.now))
+	}
+	if p == nil || !p.daemon {
+		s.stats.WheelHits++
+	}
+	w.place(e, s.spill)
+}
+
+// spill receives events leaving the wheel whose deadline is near (or past)
+// the advancing horizon and files them in the heap under their original
+// (t, part, seq) key.
+func (s *Sim) spill(e event) {
+	e.viaWheel = true
+	s.events.push(e)
+}
+
+// syncTier makes the heap/ring candidate trustworthy: it advances the wheel
+// horizon until every wheel-held event is provably later (by tick) than the
+// earliest ring or heap event, spilling anything at or before that tick
+// into the heap. The wrapper is leaf-inlinable so an empty wheel costs the
+// hot dispatch path one nil/zero check.
+func (s *Sim) syncTier() {
+	if w := s.wheel; w != nil && w.count != 0 {
+		s.syncTierSlow(w)
+	}
+}
+
+func (s *Sim) syncTierSlow(w *timerWheel) {
+	for {
+		var cand int64
+		switch {
+		case s.lowestActive() >= 0:
+			cand = tickOf(s.now)
+		case len(s.events) > 0:
+			cand = tickOf(s.events[0].t)
+		default:
+			cand = w.minLB
+		}
+		if w.minLB > cand {
+			// Every wheel event's tick is at least minLB, hence strictly
+			// after the candidate's tick: the candidate dispatches first
+			// under the (t, part, seq) order no matter what the wheel
+			// holds. One comparison is the whole cost on the hot path.
+			return
+		}
+		w.advanceTo(cand+1, s.spill)
+		if w.count == 0 {
+			return
+		}
+	}
 }
 
 // lowestActive returns the lowest-numbered partition with a non-empty
@@ -185,15 +286,26 @@ func (s *Sim) resumeAt(t Time, p *Proc) { s.schedule(t, nil, p) }
 // pending reports the number of queued events.
 func (s *Sim) pending() int {
 	n := len(s.events)
+	if s.wheel != nil {
+		n += s.wheel.count
+	}
 	for i := range s.nowqs {
 		n += len(s.nowqs[i].q) - s.nowqs[i].head
 	}
 	return n
 }
 
-// heapPush inserts e into the event heap.
-func (s *Sim) heapPush(e event) {
-	h := append(s.events, e)
+// eventHeap is a binary min-heap of events in (t, part, seq) order, used
+// for the sim's near-term event queue and the wheel's overflow tier.
+type eventHeap []event
+
+// minHeapCap floors the amortized shrink: backing arrays never drop below
+// this, so small sims keep a stable allocation.
+const minHeapCap = 64
+
+// push inserts e.
+func (hp *eventHeap) push(e event) {
+	h := append(*hp, e)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -203,18 +315,20 @@ func (s *Sim) heapPush(e event) {
 		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
-	s.events = h
+	*hp = h
 }
 
-// heapPop removes and returns the earliest heap event.
-func (s *Sim) heapPop() event {
-	h := s.events
+// pop removes and returns the earliest event. When occupancy falls below a
+// quarter of the backing array (hysteresis against append's grow-at-full),
+// the array is halved so a burst of far timers doesn't pin its peak
+// footprint for the rest of the run.
+func (hp *eventHeap) pop() event {
+	h := *hp
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{} // drop the fn/proc references
 	h = h[:n]
-	s.events = h
 	// Sift down.
 	i := 0
 	for {
@@ -232,6 +346,16 @@ func (s *Sim) heapPop() event {
 		h[i], h[least] = h[least], h[i]
 		i = least
 	}
+	if c := cap(h); c > minHeapCap && n <= c/4 {
+		nc := c / 2
+		if nc < minHeapCap {
+			nc = minHeapCap
+		}
+		shrunk := make(eventHeap, n, nc)
+		copy(shrunk, h)
+		h = shrunk
+	}
+	*hp = h
 	return top
 }
 
@@ -240,6 +364,7 @@ func (s *Sim) heapPop() event {
 // ring entry shares t == now, so the ascending-partition scan plus each
 // ring's FIFO order is exactly (t, part, seq) order.
 func (s *Sim) peekNext() (event, bool) {
+	s.syncTier()
 	part := s.lowestActive()
 	hok := len(s.events) > 0
 	if part >= 0 {
@@ -257,6 +382,7 @@ func (s *Sim) peekNext() (event, bool) {
 
 // popNext removes and returns the earliest queued event.
 func (s *Sim) popNext() (event, bool) {
+	s.syncTier()
 	part := s.lowestActive()
 	hok := len(s.events) > 0
 	if part >= 0 {
@@ -275,17 +401,21 @@ func (s *Sim) popNext() (event, bool) {
 		}
 	}
 	if hok {
-		e := s.heapPop()
+		e := s.events.pop()
 		s.countPopped(e)
 		return e, true
 	}
 	return event{}, false
 }
 
-// countPopped keeps the live-event counter in step with popNext.
+// countPopped keeps the live-event counter in step with popNext and
+// attributes dispatched wheel-staged events to the scheduler tier.
 func (s *Sim) countPopped(e event) {
 	if e.proc == nil || !e.proc.daemon {
 		s.liveEvents--
+		if e.viaWheel {
+			s.stats.HeapSpills++
+		}
 	}
 }
 
@@ -317,6 +447,9 @@ func (s *Sim) clearEvents() {
 	for i := range s.nowActive {
 		s.nowActive[i] = 0
 	}
+	if s.wheel != nil {
+		s.wheel.clear(tickOf(s.now))
+	}
 	s.liveEvents = 0
 }
 
@@ -333,6 +466,13 @@ type Proc struct {
 	// daemon marks a background observer proc whose queued wakeups never
 	// keep Run alive (see SpawnDaemon).
 	daemon bool
+	// poolExit tells a pooled goroutine (parked in procRun awaiting reuse)
+	// to terminate instead of running another incarnation; see drainPool.
+	poolExit bool
+	// fn is the body of the current incarnation, held on the Proc instead
+	// of closed over so a recycled shell's goroutine restarts without
+	// allocating.
+	fn func(p *Proc)
 	// blocked describes what the proc is waiting on, for deadlock reports.
 	blocked string
 	// track is this proc's trace timeline; zero when the sim is untraced or
@@ -377,42 +517,107 @@ func (s *Sim) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return s.spawn(int(s.curPart), name, fn, true)
 }
 
+// maxFreeProcs caps the recycling pool so a one-off burst of concurrency
+// doesn't pin its peak goroutine count forever.
+const maxFreeProcs = 4096
+
 func (s *Sim) spawn(part int, name string, fn func(p *Proc), daemon bool) *Proc {
 	if part < 0 || part >= len(s.seqs) {
 		panic(fmt.Sprintf("sim: SpawnOn partition %d of %d", part, len(s.seqs)))
 	}
-	p := &Proc{sim: s, name: name, part: int32(part), resume: make(chan struct{}), daemon: daemon}
+	var p *Proc
+	// Reuse a pooled shell (and its parked goroutine) when one is free.
+	// Daemon spawns always allocate: a recorder's samplers must not
+	// perturb the pool state the workload's own spawns observe, or
+	// recorded and unrecorded runs would diverge in SchedStats. Profiled
+	// sims never reach here (the pool stays empty; see procRun).
+	if n := len(s.freeProcs); n > 0 && !daemon {
+		p = s.freeProcs[n-1]
+		s.freeProcs[n-1] = nil
+		s.freeProcs = s.freeProcs[:n-1]
+		p.name = name
+		p.part = int32(part)
+		p.killed = false
+		p.blocked = ""
+		p.track = 0
+		p.fn = fn
+		s.stats.ProcReuses++
+	} else {
+		p = &Proc{sim: s, name: name, part: int32(part), resume: make(chan struct{}), daemon: daemon, fn: fn}
+		go procMain(p)
+	}
 	if t := s.tracer; t != nil {
 		p.track = t.NewTrack("procs", name)
 		t.Instant(p.track, int64(s.now), "spawn", "proc")
 	}
 	s.procs[p] = true
-	go func() {
-		<-p.resume // wait for the scheduler to start us
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(killedSentinel); !ok {
-					// Re-panic in the scheduler's context so the
-					// failure surfaces to the caller of Run.
-					delete(s.procs, p)
-					s.panicVal = r
-					s.parked <- struct{}{}
-					return
-				}
-				s.tracer.Instant(p.track, int64(s.now), "killed", "proc")
-			} else {
-				s.tracer.Instant(p.track, int64(s.now), "exit", "proc")
-			}
-			delete(s.procs, p)
-			s.parked <- struct{}{} // final handoff back to the scheduler
-		}()
-		if p.killed {
-			panic(killedSentinel{p.name})
-		}
-		fn(p)
-	}()
 	s.resumeAt(s.now, p)
 	return p
+}
+
+// procMain is the body of every proc goroutine: it runs incarnations of p
+// until one ends without parking the shell on the free list (kill, panic,
+// pool cap, or a drain request). A plain function rather than a closure so
+// recycled spawns allocate nothing.
+func procMain(p *Proc) {
+	for procRun(p) {
+	}
+}
+
+// procRun waits for the scheduler to start p, executes one incarnation,
+// and reports whether the shell was pooled for reuse. Only a normal return
+// pools: a proc that is running holds no queued resumption (wakeups are
+// consumed before it runs, and nothing can target a running proc), so on
+// clean exit no stale event can reference the recycled pointer. A killed
+// proc's pending wakeup may still sit in the queue, so its shell — and a
+// panicking proc's — is never reused. Profiled sims never pool either: the
+// critical-path profiler keys per-proc state by *Proc and must see a fresh
+// pointer per logical proc.
+func procRun(p *Proc) (pooled bool) {
+	<-p.resume // wait for the scheduler to start us
+	if p.poolExit {
+		return false
+	}
+	s := p.sim
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedSentinel); !ok {
+				// Re-panic in the scheduler's context so the
+				// failure surfaces to the caller of Run.
+				delete(s.procs, p)
+				s.panicVal = r
+				s.parked <- struct{}{}
+				return
+			}
+			s.tracer.Instant(p.track, int64(s.now), "killed", "proc")
+		} else {
+			s.tracer.Instant(p.track, int64(s.now), "exit", "proc")
+			if !p.daemon && s.profiler == nil && len(s.freeProcs) < maxFreeProcs {
+				p.fn = nil
+				s.freeProcs = append(s.freeProcs, p)
+				pooled = true
+			}
+		}
+		delete(s.procs, p)
+		s.parked <- struct{}{} // final handoff back to the scheduler
+	}()
+	if p.killed {
+		panic(killedSentinel{p.name})
+	}
+	p.fn(p)
+	return
+}
+
+// drainPool terminates the goroutines parked on the free list. Run,
+// Shutdown, and killProcs drain so a finished or abandoned Sim leaks no
+// goroutines; RunFor keeps the pool warm across adaptive windows.
+func (s *Sim) drainPool() {
+	for i, p := range s.freeProcs {
+		p.poolExit = true
+		p.resume <- struct{}{}
+		s.freeProcs[i] = nil
+	}
+	s.freeProcs = s.freeProcs[:0]
 }
 
 // runProc transfers control to p until it parks or exits. Must be called
@@ -581,6 +786,10 @@ func (s *Sim) Run() error {
 		s.killProcs()
 		return &DeadlockError{Blocked: names}
 	}
+	// Release the recycling pool's goroutines: a Sim dropped after Run must
+	// not leak them. RunFor deliberately keeps the pool warm so churn keeps
+	// reusing shells across adaptive windows.
+	s.drainPool()
 	return nil
 }
 
@@ -656,4 +865,5 @@ func (s *Sim) killProcs() {
 			wl.purge(p)
 		}
 	}
+	s.drainPool()
 }
