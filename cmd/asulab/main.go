@@ -356,8 +356,25 @@ func runOpenLoop(args []string) error {
 	fs.IntVar(&opt.ASUs, "asus", opt.ASUs, "ASU count")
 	fs.Float64Var(&opt.ZipfS, "zipf", opt.ZipfS, "Zipf skew for ASU choice (<=1 uniform)")
 	fs.Int64Var(&opt.Seed, "seed", opt.Seed, "workload seed")
+	timeoutMs := fs.Float64("timeout", opt.Timeout.Seconds()*1e3,
+		"base SLO deadline in virtual ms; the ladder arms horizons 1..deadlines times this")
 	report := fs.String("report", "", "write the run's RunReport here (engine-independent: CI cmps serial vs parallel)")
+	record := fs.String("record", "", "also stream the run into this run-store directory")
+	fs.StringVar(&opt.Experiment, "experiment", opt.Experiment, "experiment label for recorded runs")
 	fs.Parse(args)
+	opt.Timeout = sim.Duration(*timeoutMs * float64(sim.Millisecond))
+	if *record != "" {
+		store, err := recorder.OpenStore(*record)
+		if err != nil {
+			return err
+		}
+		opt.Record = store
+		defer func() {
+			if err := store.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "asulab: record store:", err)
+			}
+		}()
+	}
 	res, err := experiments.RunOpenLoop(opt)
 	if err != nil {
 		return err

@@ -46,6 +46,8 @@ func main() {
 		err = runBench(args)
 	case "query":
 		err = runQuery(args)
+	case "trend":
+		err = runTrend(args)
 	case "serve":
 		err = runServe(args)
 	case "-h", "--help", "help":
@@ -80,8 +82,10 @@ func usage() {
 
 commands:
   show  FILE [-svg OUT.svg] [-all]     render a report as tables (+ utilization plot)
-  critpath FILE [-svg OUT.svg]         latency attribution: bottleneck verdict,
-                                       critical path, per-stage waterfall
+  critpath FILE [-svg OUT.svg] [-slo]  latency attribution: bottleneck verdict,
+                                       critical path, per-stage waterfall;
+                                       -slo renders the deadline ladder with
+                                       per-horizon miss blame instead
   diff  BASE NEW [-runtime-threshold R] [-p99-threshold P] [-q]
                                        field-by-field comparison; exit 1 on regression
   bench [-quick] [-o FILE] [-seed S] [-stamp=false]
@@ -96,6 +100,12 @@ commands:
                                        bench regression gate from store records; exit 1 on regression
   query STORE import FILE -experiment E
                                        load a report/trajectory file into the store
+  query STORE trace  [RUN-ID ...] [-experiment E] [-o OUT.json]
+                                       compose stored trace spans into Perfetto JSON
+  query STORE prune  -keep N [-dry-run]
+                                       delete the oldest segments beyond the newest N
+  trend STORE -metric NAME [-experiment E] [-name CELL] [-svg OUT.svg]
+                                       one metric across stored runs grouped by git_rev
   serve STORE-or-FILE [-addr A] [-experiment E]
                                        replay stored runs into the monitoring dashboard`)
 }

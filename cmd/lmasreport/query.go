@@ -25,7 +25,7 @@ import (
 // into the store so committed baselines are queryable.
 func runQuery(args []string) error {
 	if len(args) < 2 {
-		return fmt.Errorf("query: want STORE and a subcommand (list|show|metric|gate|import)")
+		return fmt.Errorf("query: want STORE and a subcommand (list|show|metric|gate|import|trace|prune)")
 	}
 	dir, sub, rest := args[0], args[1], args[2:]
 	switch sub {
@@ -39,6 +39,10 @@ func runQuery(args []string) error {
 		return queryGate(dir, rest)
 	case "import":
 		return queryImport(dir, rest)
+	case "trace":
+		return queryTrace(dir, rest)
+	case "prune":
+		return queryPrune(dir, rest)
 	}
 	return fmt.Errorf("query: unknown subcommand %q", sub)
 }
@@ -139,7 +143,7 @@ func queryMetric(dir string, args []string) error {
 		}
 		if kind, v, p50, p99, ok := metricOf(rep, name); ok {
 			p50s, p99s := "-", "-"
-			if kind == "histogram" {
+			if kind == "histogram" || kind == "latency" {
 				p50s = fmt.Sprintf("%.6g", p50)
 				p99s = fmt.Sprintf("%.6g", p99)
 			}
@@ -177,7 +181,112 @@ func metricOf(rep *telemetry.RunReport, name string) (kind string, v, p50, p99 f
 			return "histogram", float64(h.Count), h.P50, h.P99, true
 		}
 	}
+	for _, l := range rep.Latencies {
+		if l.Name == name {
+			return "latency", float64(l.Count),
+				float64(l.P50Ns) / 1e9, float64(l.P99Ns) / 1e9, true
+		}
+	}
 	return "", 0, 0, 0, false
+}
+
+// queryTrace composes the stored trace spans of one or more runs into a
+// single Chrome trace-event JSON file, loadable in Perfetto — the cross-run
+// view a per-run trace file cannot give. With explicit RUN-IDs only those
+// runs contribute (in the order given); otherwise every run in the store (or
+// the selected experiment) that recorded spans does.
+func queryTrace(dir string, args []string) error {
+	fs := flag.NewFlagSet("query trace", flag.ExitOnError)
+	exp := fs.String("experiment", "", "only this experiment (ignored with explicit RUN-IDs)")
+	out := fs.String("o", "", "output file (default stdout)")
+	ids := parseMixed(fs, args)
+	st, err := openStoreRead(dir)
+	if err != nil {
+		return err
+	}
+	runs, err := st.Runs()
+	if err != nil {
+		return err
+	}
+	var chosen []*recorder.RunRecord
+	if len(ids) > 0 {
+		byID := make(map[string]*recorder.RunRecord, len(runs))
+		for _, run := range runs {
+			byID[run.Header.RunID] = run
+		}
+		for _, id := range ids {
+			run, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("query trace: no run %q in %s", id, dir)
+			}
+			chosen = append(chosen, run)
+		}
+	} else {
+		for _, run := range runs {
+			if *exp != "" && run.Header.Experiment != *exp {
+				continue
+			}
+			if len(run.Spans()) > 0 {
+				chosen = append(chosen, run)
+			}
+		}
+	}
+	spans := 0
+	for _, run := range chosen {
+		spans += len(run.Spans())
+	}
+	if spans == 0 {
+		return fmt.Errorf("query trace: no stored spans (record runs with tracing attached, e.g. dsmsort -trace -record)")
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := recorder.ComposeTrace(w, chosen); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("query trace: %d span(s) from %d run(s) -> %s\n", spans, len(chosen), *out)
+	}
+	return nil
+}
+
+// queryPrune applies the store's retention policy: keep the newest -keep
+// runs (by header start time, run ID tiebreak) and delete the rest. -dry-run
+// lists the victims without touching any file.
+func queryPrune(dir string, args []string) error {
+	fs := flag.NewFlagSet("query prune", flag.ExitOnError)
+	keep := fs.Int("keep", -1, "number of newest runs to keep (required)")
+	dry := fs.Bool("dry-run", false, "list what would be pruned without deleting")
+	if pos := parseMixed(fs, args); len(pos) != 0 {
+		return fmt.Errorf("query prune: unexpected argument %q", pos[0])
+	}
+	if *keep < 0 {
+		return fmt.Errorf("query prune: -keep N is required")
+	}
+	st, err := openStoreRead(dir)
+	if err != nil {
+		return err
+	}
+	victims, err := st.Prune(*keep, *dry)
+	if err != nil {
+		return err
+	}
+	verb := "pruned"
+	if *dry {
+		verb = "would prune"
+	}
+	for _, run := range victims {
+		h := run.Header
+		fmt.Printf("%s %s (experiment=%s started=%s)\n", verb, h.RunID, h.Experiment, h.StartedAt)
+	}
+	fmt.Printf("query prune: %s %d run(s), kept newest %d\n", verb, len(victims), *keep)
+	return nil
 }
 
 func queryGate(dir string, args []string) error {

@@ -108,6 +108,20 @@ func showReport(rep *telemetry.RunReport) {
 		}
 		fmt.Println(t)
 	}
+	if len(rep.Latencies) > 0 {
+		t := metrics.NewTable("End-to-end latency histograms (milliseconds)",
+			"name", "count", "p50", "p90", "p99", "p99.9", "max")
+		for _, l := range rep.Latencies {
+			t.AddRow(l.Name, l.Count,
+				fmt.Sprintf("%.3f", msec(l.P50Ns)), fmt.Sprintf("%.3f", msec(l.P90Ns)),
+				fmt.Sprintf("%.3f", msec(l.P99Ns)), fmt.Sprintf("%.3f", msec(l.P999Ns)),
+				fmt.Sprintf("%.3f", msec(l.MaxNs)))
+		}
+		fmt.Println(t)
+	}
+	if rep.SLO != nil {
+		showSLO(rep)
+	}
 	if len(rep.Decisions) > 0 {
 		fmt.Println("Load-manager decision log:")
 		for _, d := range rep.Decisions {
@@ -118,6 +132,38 @@ func showReport(rep *telemetry.RunReport) {
 			}
 		}
 	}
+}
+
+func msec(ns int64) float64 { return float64(ns) / 1e6 }
+
+// showSLO renders the deadline ladder an open-loop run exports: for each
+// horizon (multiples of the base timeout), how many jobs missed it, which
+// resource class dominated the missed jobs' time, and the full blame mix.
+func showSLO(rep *telemetry.RunReport) {
+	s := rep.SLO
+	t := metrics.NewTable(
+		fmt.Sprintf("SLO ladder for run %q (base deadline %.1fms, goodput %.1f jobs/s)",
+			rep.Name, msec(s.TimeoutNs), s.GoodputPerSec),
+		"horizon", "deadline(ms)", "misses", "dominant", "blame mix")
+	for _, h := range s.Horizons {
+		mix := "-"
+		if len(h.Blame) > 0 {
+			parts := make([]string, 0, len(h.Blame))
+			for i, b := range h.Blame {
+				if i >= 3 && b.Share < 0.05 {
+					break
+				}
+				parts = append(parts, fmt.Sprintf("%s@%s %.0f%%", b.Class, b.Node, b.Share*100))
+			}
+			mix = strings.Join(parts, ", ")
+		}
+		dom := h.Dominant
+		if dom == "" {
+			dom = "-"
+		}
+		t.AddRow(h.Horizon, fmt.Sprintf("%.1f", msec(h.DeadlineNs)), h.Misses, dom, mix)
+	}
+	fmt.Println(t)
 }
 
 func meanPeakOf(s *telemetry.UtilSeries) string {

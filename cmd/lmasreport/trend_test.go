@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything written.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	defer func() {
+		os.Stdout = old
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestTrendGolden runs `lmasreport trend` over the committed fixture store
+// and compares the rendered table against the golden file (refresh with
+// `go test ./cmd/lmasreport -run TestTrendGolden -update`). The fixture has
+// two revisions (aaa1111 with two finished runs, bbb2222 with one finished
+// and one unfinished), so the golden pins revision grouping, chronological
+// order, skipping of unfinished segments, and the latency p50/p99 columns.
+func TestTrendGolden(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := runTrend([]string{"testdata/trendstore", "-metric", "openloop.job.latency"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	golden := "testdata/trend_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("trend output drifted from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+
+	// Acceptance: the table reproduces the metric for every finished stored
+	// run — and never mentions the unfinished one.
+	for _, substr := range []string{
+		"r1a", "r1b", "r2a", // every finished run
+		"aaa1111", "bbb2222", // both revisions
+		"0.003", "0.0032", "0.0028", // each run's p50 seconds
+		"0.009", "0.0095", "0.008", // each run's p99 seconds
+	} {
+		if !strings.Contains(out, substr) {
+			t.Errorf("trend output lacks %q", substr)
+		}
+	}
+	if strings.Contains(out, "r2b") {
+		t.Error("trend output includes the unfinished run r2b")
+	}
+}
+
+// TestTrendRuntimeMetricAndSVG covers the runtime_sec pseudo-metric and the
+// sparkline output path.
+func TestTrendRuntimeMetricAndSVG(t *testing.T) {
+	svg := t.TempDir() + "/trend.svg"
+	out := captureStdout(t, func() {
+		if err := runTrend([]string{"testdata/trendstore", "-metric", "runtime_sec", "-svg", svg}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, substr := range []string{"1.5", "1.6", "1.4"} {
+		if !strings.Contains(out, substr) {
+			t.Errorf("runtime trend lacks value %q:\n%s", substr, out)
+		}
+	}
+	b, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, substr := range []string{"<svg", "polyline", "aaa1111", "bbb2222"} {
+		if !strings.Contains(s, substr) {
+			t.Errorf("sparkline SVG lacks %q", substr)
+		}
+	}
+}
+
+// TestTrendUnknownMetric: asking for an instrument no stored run has is an
+// error, not an empty table.
+func TestTrendUnknownMetric(t *testing.T) {
+	err := runTrend([]string{"testdata/trendstore", "-metric", "no.such.metric"})
+	if err == nil || !strings.Contains(err.Error(), "no.such.metric") {
+		t.Fatalf("err = %v, want unknown-instrument error", err)
+	}
+}

@@ -442,6 +442,41 @@ func (c *Cluster) AttachTrace(t *trace.Sink) {
 		}
 		t.SharedTrack(n.Name, n.Name+".nic")
 	}
+	c.wireTraceStream()
+}
+
+// wireTraceStream connects an attached trace sink to an attached recorder so
+// every trace event also lands in the run record as a Span. Called from both
+// AttachTrace and AttachRecorder, so either attach order works; the sink
+// replays already-buffered events on hookup, so nothing is lost either way.
+// Trace emission happens on the event-loop side only and event order is
+// engine-independent, so the streamed spans keep segments deterministic
+// below the header.
+func (c *Cluster) wireTraceStream() {
+	t := c.Sim.Tracer()
+	rec := c.Recorder
+	if t == nil || rec == nil {
+		return
+	}
+	t.SetStreamer(func(e trace.StreamEvent) {
+		sp := recorder.Span{
+			T:     e.TS,
+			DurNs: e.Dur,
+			Ph:    string(e.Ph),
+			Group: e.Group,
+			Track: e.Track,
+			TID:   e.TID,
+			Name:  e.Name,
+			Cat:   e.Cat,
+		}
+		if len(e.Args) > 0 {
+			sp.Args = make([]recorder.SpanArg, len(e.Args))
+			for i, a := range e.Args {
+				sp.Args[i] = recorder.SpanArg{Key: a.Key, Val: a.Val}
+			}
+		}
+		rec.Span(sp)
+	})
 }
 
 // Nodes returns all nodes, hosts first.

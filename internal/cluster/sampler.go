@@ -57,6 +57,7 @@ func (c *Cluster) AttachRecorder(rec recorder.Recorder, every sim.Duration) {
 		rec.Event(ev)
 	})
 	c.startSampler("recorder.sampler", every, rec, false)
+	c.wireTraceStream()
 }
 
 // AttachPeriodicGauges additionally emits the periodic observations as
@@ -89,6 +90,7 @@ func (c *Cluster) FinishSampling() {
 	c.wantProbes = false
 	if c.Recorder != nil {
 		c.Telemetry.SetOnDecide(nil)
+		c.Sim.Tracer().SetStreamer(nil)
 	}
 }
 
@@ -159,9 +161,20 @@ func (s *clusterSampler) tick(now sim.Time) {
 			c.Telemetry.Gauge("queue."+qp.name+".high_water").Set(now, float64(high))
 		}
 	}
+	var lats []recorder.LatencySnapshot
+	if s.rec != nil {
+		for _, h := range c.Telemetry.LatencyHistograms() {
+			lats = append(lats, recorder.LatencySnapshot{
+				Name:  h.Name(),
+				Count: h.Count(),
+				P50Ns: h.Quantile(0.50),
+				P99Ns: h.Quantile(0.99),
+			})
+		}
+	}
 	s.prevT = now
 	if s.rec != nil {
-		s.rec.Sample(recorder.Sample{T: int64(now), Nodes: nodes, Queues: queues})
+		s.rec.Sample(recorder.Sample{T: int64(now), Nodes: nodes, Queues: queues, Latencies: lats})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"lmas/internal/metrics"
 	"lmas/internal/rtree"
 	"lmas/internal/sim"
+	"lmas/internal/telemetry"
 	"lmas/internal/terraflow"
 )
 
@@ -144,12 +145,15 @@ func DefaultRTreeOptions() RTreeOptions {
 	}
 }
 
-// RTreeRun is one organization's measurements.
+// RTreeRun is one organization's measurements. P50/P99 are per-query
+// latency quantiles of the uniform server workload, from the cluster's
+// deterministic latency histogram.
 type RTreeRun struct {
 	Mode        string
 	WideLatency sim.Duration
 	QPS         float64
 	HotQPS      float64
+	P50, P99    sim.Duration
 }
 
 // RTreeResult holds all three organizations.
@@ -165,9 +169,10 @@ func (r *RTreeResult) Table() *metrics.Table {
 	t := metrics.NewTable(
 		fmt.Sprintf("TAB-RTREE: distributed R-tree organizations, %d entries, %d ASUs",
 			r.Options.Entries, r.Options.ASUs),
-		"organization", "wide-scan latency(ms)", "uniform qps", "hot-spot qps")
+		"organization", "wide-scan latency(ms)", "uniform qps", "hot-spot qps", "p50(ms)", "p99(ms)")
 	for _, run := range []RTreeRun{r.Partition, r.Stripe, r.Replicated} {
-		t.AddRow(run.Mode, run.WideLatency.Seconds()*1e3, run.QPS, run.HotQPS)
+		t.AddRow(run.Mode, run.WideLatency.Seconds()*1e3, run.QPS, run.HotQPS,
+			run.P50.Seconds()*1e3, run.P99.Seconds()*1e3)
 	}
 	return t
 }
@@ -187,21 +192,29 @@ func RunRTree(opt RTreeOptions) (*RTreeResult, error) {
 		if err != nil {
 			return RTreeRun{}, fmt.Errorf("rtree %s latency: %w", name, err)
 		}
-		_, qps, err := mk().Throughput(small, opt.Clients)
+		dtUniform := mk()
+		_, qps, err := dtUniform.Throughput(small, opt.Clients)
 		if err != nil {
 			return RTreeRun{}, fmt.Errorf("rtree %s throughput: %w", name, err)
 		}
+		qlat := dtUniform.Cluster().Telemetry.Latency("rtree.query.latency")
 		_, hqps, err := mk().Throughput(hot, opt.Clients)
 		if err != nil {
 			return RTreeRun{}, fmt.Errorf("rtree %s hot throughput: %w", name, err)
 		}
-		return RTreeRun{Mode: name, WideLatency: lat, QPS: qps, HotQPS: hqps}, nil
+		return RTreeRun{
+			Mode: name, WideLatency: lat, QPS: qps, HotQPS: hqps,
+			P50: sim.Duration(qlat.Quantile(0.50)),
+			P99: sim.Duration(qlat.Quantile(0.99)),
+		}, nil
 	}
 	newCl := func() *cluster.Cluster {
 		params := opt.Base
 		params.Hosts = 1
 		params.ASUs = opt.ASUs
-		return cluster.New(params)
+		cl := cluster.New(params)
+		cl.AttachTelemetry(telemetry.NewRegistry(), 100*sim.Millisecond)
+		return cl
 	}
 	var err error
 	res.Partition, err = runOne(func() *rtree.Distributed {

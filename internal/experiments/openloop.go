@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"lmas/internal/cluster"
+	"lmas/internal/critpath"
 	"lmas/internal/metrics"
+	"lmas/internal/recorder"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
 )
@@ -42,12 +46,23 @@ type OpenLoopOptions struct {
 	// the wheel's outer levels.
 	Timeout sim.Duration
 	// Deadlines arms one probe per horizon i*Timeout (i = 1..Deadlines) per
-	// job — multi-horizon SLO tracking. Only the first probe counts misses;
-	// the rest keep hundreds of thousands of far timers in flight, which is
-	// the in-flight event load the scheduler tier is built to carry.
+	// job — multi-horizon SLO tracking. Every probe counts its horizon's
+	// misses and captures the missing job's blame mix; the ladder also keeps
+	// hundreds of thousands of far timers in flight, which is the in-flight
+	// event load the scheduler tier is built to carry.
 	Deadlines int
 	Base      cluster.Params
 	Seed      int64
+	// Record, when non-nil, streams the run into a recorder sink: periodic
+	// samples (with queue depths and the latency strip), load-manager
+	// events, and the finished report. Recording is a pure observer — the
+	// report stays byte-identical with or without it.
+	Record recorder.Sink
+	// Experiment names the recorded run's store experiment (default
+	// "openloop"); only used when Record is set.
+	Experiment string
+	// SampleEvery is the recorder sampling interval (0 means 100ms).
+	SampleEvery sim.Duration
 }
 
 // DefaultOpenLoopOptions sizes the workload so a run exercises every wheel
@@ -97,6 +112,9 @@ func (r *OpenLoopResult) Table() *metrics.Table {
 	t.AddRow("SLO misses", r.Misses)
 	t.AddRow("elapsed(s)", r.Elapsed.Seconds())
 	t.AddRow("goodput(jobs/s)", r.Goodput)
+	if slo := r.Report.SLO; slo != nil {
+		t.AddRow("goodput in SLO(jobs/s)", slo.GoodputPerSec)
+	}
 	t.AddRow("p50(ms)", r.P50.Seconds()*1e3)
 	t.AddRow("p99(ms)", r.P99.Seconds()*1e3)
 	t.AddRow("p99.9(ms)", r.P999.Seconds()*1e3)
@@ -114,6 +132,39 @@ type openJob struct {
 	arrival sim.Time
 }
 
+// Per-job blame classes, in the critpath charge vocabulary. A job's life is
+// always in exactly one phase; phase transitions flush the elapsed interval
+// onto the finishing class, so when an SLO probe fires mid-phase the miss's
+// whole history is one cumulative vector plus one partial interval.
+const (
+	jobPhaseHostCPU = iota
+	jobPhaseNet
+	jobPhaseQueueWait
+	jobPhaseASUCPU
+	jobPhaseDisk
+	jobNumPhases
+	jobPhaseDone = -1
+)
+
+var jobPhaseClass = [jobNumPhases]critpath.Class{
+	critpath.ClassHostCPU,
+	critpath.ClassNet,
+	critpath.ClassQueueWait,
+	critpath.ClassASUCPU,
+	critpath.ClassDisk,
+}
+
+// jobTrack is one job's latency provenance: where its time has gone so far.
+// The slice of these is allocated once up front, so blame tracking never
+// perturbs the workload's own churn-heavy allocation profile.
+type jobTrack struct {
+	classNs [jobNumPhases]int64
+	phaseAt sim.Time
+	host    int32
+	asu     int32
+	phase   int8
+}
+
 // RunOpenLoop executes the open-loop churn workload. The dispatch history is
 // engine-independent: the generator is a single proc, every shared mutation
 // happens inside dispatched events, and the report it builds must be
@@ -125,19 +176,73 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 	cl.AttachTelemetry(telemetry.NewRegistry(), 100*sim.Millisecond)
 	s := cl.Sim
 
+	// Register the latency histogram before any recorder attaches so the
+	// periodic sampler's latency strip sees it from the first tick.
+	latHist := cl.Telemetry.Latency("openloop.job.latency")
+
+	workload := map[string]any{
+		"program": "openloop-churn",
+		"jobs":    opt.Jobs,
+		"rate":    opt.Rate,
+		"zipf_s":  opt.ZipfS,
+		"batch":   opt.Batch,
+		"timeout": int64(opt.Timeout),
+	}
+	var rec recorder.Recorder
+	if opt.Record != nil {
+		rec = opt.Record.NewRun()
+		exp := opt.Experiment
+		if exp == "" {
+			exp = "openloop"
+		}
+		rec.Begin(&recorder.Header{
+			Experiment: exp,
+			Name:       "openloop",
+			ConfigHash: recorder.ConfigHash(cl.Config(), workload, opt.Seed),
+			Seed:       opt.Seed,
+			Config:     cl.Config(),
+			Workload:   workload,
+		})
+		cl.AttachRecorder(rec, opt.SampleEvery)
+	}
+
 	queues := make([]*sim.Queue[openJob], opt.ASUs)
 	for i := range queues {
 		queues[i] = sim.NewQueue[openJob](s, fmt.Sprintf("asu%d.jobs", i), opt.QueueCap)
+	}
+	if cl.WantsQueueProbes() {
+		for i, q := range queues {
+			q := q
+			cl.RegisterQueueProbe(fmt.Sprintf("asu%d.jobs", i), func() (int, int) {
+				_, high := q.WaitStats()
+				return q.Len(), high
+			})
+		}
 	}
 
 	var (
 		latencies = make([]sim.Duration, 0, opt.Jobs)
 		completed = make([]bool, opt.Jobs)
+		tracks    = make([]jobTrack, opt.Jobs)
 		delivered = 0
 		misses    = 0
+		good      = 0
 		firstAt   sim.Time
 		lastAt    sim.Time
 	)
+	// horizonMiss[i] aggregates the blame of every job missing horizon i:
+	// key = phase*numNodes + node index (hosts first).
+	numNodes := opt.Hosts + opt.ASUs
+	horizonMiss := make([]int64, opt.Deadlines+1)
+	horizonBlame := make([]map[int]int64, opt.Deadlines+1)
+
+	setPhase := func(id int, phase int8, now sim.Time) {
+		tr := &tracks[id]
+		if tr.phase >= 0 {
+			tr.classNs[tr.phase] += int64(now - tr.phaseAt)
+		}
+		tr.phase, tr.phaseAt = phase, now
+	}
 
 	// Per-ASU server: drain the queue in batches, charge CPU and disk per
 	// job, and exit on the sentinel the generator enqueues after the last
@@ -156,16 +261,25 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 					if j.id < 0 {
 						return
 					}
+					setPhase(j.id, jobPhaseASUCPU, p.Now())
 					// Reads stream sequentially per ASU (read-ahead credit
 					// applies): the workload stresses the scheduler, not
 					// seek time.
 					asu.Compute(p, opt.ASUOps+cl.Touch(asu))
 					if opt.ReadBytes > 0 {
+						setPhase(j.id, jobPhaseDisk, p.Now())
 						asu.Disk.Read(p, opt.ReadBytes)
 					}
+					now := p.Now()
+					setPhase(j.id, jobPhaseDone, now)
 					completed[j.id] = true
-					latencies = append(latencies, sim.Duration(p.Now()-j.arrival))
-					lastAt = p.Now()
+					lat := sim.Duration(now - j.arrival)
+					latencies = append(latencies, lat)
+					latHist.Observe(lat)
+					if lat <= opt.Timeout {
+						good++
+					}
+					lastAt = now
 				}
 			}
 		})
@@ -183,7 +297,8 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 		firstAt = p.Now()
 		for id := 0; id < opt.Jobs; id++ {
 			id := id
-			host := cl.Hosts[id%opt.Hosts]
+			hostIdx := id % opt.Hosts
+			host := cl.Hosts[hostIdx]
 			asuIdx := 0
 			if zipf != nil {
 				asuIdx = int(zipf.Uint64())
@@ -192,21 +307,62 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 			}
 			asu := cl.ASUs[asuIdx]
 			arrival := p.Now()
+			tracks[id] = jobTrack{
+				phaseAt: arrival,
+				host:    int32(hostIdx),
+				asu:     int32(asuIdx),
+				phase:   jobPhaseHostCPU,
+			}
 			// SLO deadlines: a ladder of far-future probes per job,
-			// cancel-by-flag. Only the first horizon counts misses.
-			s.After(opt.Timeout, func() {
-				if !completed[id] {
+			// cancel-by-flag. One closure serves the whole ladder (its
+			// horizon is recovered from the fire time), so arming ten
+			// horizons costs the same single allocation as one.
+			probe := func() {
+				if completed[id] {
+					return
+				}
+				now := s.Now()
+				h := int(sim.Duration(now-arrival) / opt.Timeout)
+				if h < 1 {
+					h = 1
+				} else if h > opt.Deadlines {
+					h = opt.Deadlines
+				}
+				if h == 1 {
 					misses++
 				}
-			})
-			for i := 2; i <= opt.Deadlines; i++ {
-				s.After(sim.Duration(i)*opt.Timeout, func() {})
+				horizonMiss[h]++
+				tr := &tracks[id]
+				blame := horizonBlame[h]
+				if blame == nil {
+					blame = make(map[int]int64)
+					horizonBlame[h] = blame
+				}
+				for ph := 0; ph < jobNumPhases; ph++ {
+					ns := tr.classNs[ph]
+					if ph == int(tr.phase) {
+						ns += int64(now - tr.phaseAt)
+					}
+					if ns == 0 {
+						continue
+					}
+					node := int(tr.host)
+					if ph >= jobPhaseQueueWait {
+						node = opt.Hosts + int(tr.asu)
+					}
+					blame[ph*numNodes+node] += ns
+				}
+			}
+			for i := 1; i <= opt.Deadlines; i++ {
+				s.After(sim.Duration(i)*opt.Timeout, probe)
 			}
 			// A constant proc name: a per-job Sprintf would dominate the
 			// workload's own allocation profile at 100k+ jobs.
 			s.SpawnOn(host.Part, "job", func(jp *sim.Proc) {
 				host.Compute(jp, opt.HostOps+cl.Touch(host))
+				setPhase(id, jobPhaseNet, jp.Now())
 				cl.Net.Send(jp, host.NIC, asu.NIC, 256)
+				setPhase(id, jobPhaseQueueWait, jp.Now())
 				if err := queues[asuIdx].Put(jp, openJob{id: id, arrival: arrival}); err != nil {
 					panic(err)
 				}
@@ -228,6 +384,7 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
+	cl.FinishSampling()
 
 	res := &OpenLoopResult{
 		Options:   opt,
@@ -255,5 +412,62 @@ func RunOpenLoop(opt OpenLoopOptions) (*OpenLoopResult, error) {
 		"goodput":  res.Goodput,
 		"complete": res.Completed,
 	}
+	res.Report.SLO = buildSLO(cl, opt, res, good, horizonMiss, horizonBlame)
+	if rec != nil {
+		rec.Finish(res.Report)
+	}
 	return res, nil
+}
+
+// buildSLO assembles the deadline-ladder report section: per-horizon miss
+// counts with a blame mix sorted by attributed time (descending, ties by
+// class order then node name), so the dominant resource is first.
+func buildSLO(cl *cluster.Cluster, opt OpenLoopOptions, res *OpenLoopResult,
+	good int, horizonMiss []int64, horizonBlame []map[int]int64) *telemetry.SLOReport {
+	slo := &telemetry.SLOReport{TimeoutNs: int64(opt.Timeout)}
+	if res.Elapsed > 0 {
+		slo.GoodputPerSec = float64(good) / res.Elapsed.Seconds()
+	}
+	numNodes := opt.Hosts + opt.ASUs
+	nodeName := func(idx int) string {
+		if idx < opt.Hosts {
+			return cl.Hosts[idx].Name
+		}
+		return cl.ASUs[idx-opt.Hosts].Name
+	}
+	for i := 1; i <= opt.Deadlines; i++ {
+		hz := telemetry.SLOHorizon{
+			Horizon:    i,
+			DeadlineNs: int64(sim.Duration(i) * opt.Timeout),
+			Misses:     horizonMiss[i],
+		}
+		blame := horizonBlame[i]
+		var total int64
+		for _, ns := range blame {
+			total += ns
+		}
+		for key, ns := range blame {
+			hz.Blame = append(hz.Blame, telemetry.SLOBlame{
+				Class: string(jobPhaseClass[key/numNodes]),
+				Node:  nodeName(key % numNodes),
+				Ns:    ns,
+				Share: math.Round(float64(ns)/float64(total)*1e6) / 1e6,
+			})
+		}
+		sort.Slice(hz.Blame, func(a, b int) bool {
+			ba, bb := hz.Blame[a], hz.Blame[b]
+			if ba.Ns != bb.Ns {
+				return ba.Ns > bb.Ns
+			}
+			if ba.Class != bb.Class {
+				return ba.Class < bb.Class
+			}
+			return ba.Node < bb.Node
+		})
+		if len(hz.Blame) > 0 {
+			hz.Dominant = hz.Blame[0].Class
+		}
+		slo.Horizons = append(slo.Horizons, hz)
+	}
+	return slo
 }

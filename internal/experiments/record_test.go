@@ -14,6 +14,7 @@ import (
 	"lmas/internal/recorder"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
+	"lmas/internal/trace"
 )
 
 // recordSpec is a small cell used by the recording tests: big enough to
@@ -282,5 +283,79 @@ func TestConcurrentRecording(t *testing.T) {
 		if run.Report() == nil {
 			t.Fatalf("run %s has no finish report", run.Header.RunID)
 		}
+	}
+}
+
+// TestTraceRecordingNeutrality extends the neutrality property to the trace
+// streamer: a run with tracing attached AND streamed into a store produces a
+// report byte-identical to the bare run, the stored segment holds the sink's
+// spans, and re-recording yields byte-identical span streams (below the
+// volatile header).
+func TestTraceRecordingNeutrality(t *testing.T) {
+	plain, _, err := RunSortReport(recordSpec("cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := func() (*telemetry.RunReport, []recorder.Span) {
+		t.Helper()
+		st, err := recorder.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := recordSpec("cell")
+		spec.Trace = trace.New()
+		spec.Record = st
+		spec.Experiment = "trace-neutrality"
+		spec.SampleEvery = 2 * sim.Millisecond
+		rep, _, err := RunSortReport(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+		runs, err := st.Runs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != 1 {
+			t.Fatalf("%d stored runs, want 1", len(runs))
+		}
+		if got, want := len(runs[0].Spans()), spec.Trace.Events(); got != want || got == 0 {
+			t.Fatalf("stored %d spans, sink recorded %d events", got, want)
+		}
+		return rep, runs[0].Spans()
+	}
+
+	rep1, spans1 := traced()
+	rep2, spans2 := traced()
+
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("trace recording changed the report bytes:\nplain:  %s\ntraced: %s", a, b)
+	}
+	c, _ := json.Marshal(rep2)
+	if string(b) != string(c) {
+		t.Fatal("two traced runs disagree on the report")
+	}
+
+	s1, err := json.Marshal(spans1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := json.Marshal(spans2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("span streams differ across recordings (%d vs %d bytes)", len(s1), len(s2))
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"lmas/internal/route"
 	"lmas/internal/sim"
 	"lmas/internal/telemetry"
+	"lmas/internal/trace"
 )
 
 // SortRunSpec names one fully parameterized DSM-Sort execution — the unit
@@ -44,6 +45,11 @@ type SortRunSpec struct {
 	// is a pure observer — the report's bytes are identical with or
 	// without it.
 	Record recorder.Sink
+	// Trace, when non-nil, attaches a structured trace sink to the run.
+	// With Record also set, every trace event additionally streams into the
+	// recorder as a Span record. Tracing is a pure observer too: the
+	// report's bytes are identical with or without it.
+	Trace *trace.Sink
 	// Experiment labels the run's store segment ("" = "adhoc").
 	Experiment string
 	// SampleEvery is the recorder's virtual-time sampling interval
@@ -68,6 +74,9 @@ func RunSortReport(spec SortRunSpec) (*telemetry.RunReport, *dsmsort.Result, err
 	}
 	cl := cluster.New(params)
 	cl.AttachTelemetry(telemetry.NewRegistry(), spec.UtilWindow)
+	if spec.Trace != nil {
+		cl.AttachTrace(spec.Trace)
+	}
 	if spec.Critpath {
 		cl.AttachProfiler(critpath.New())
 	}

@@ -77,3 +77,47 @@ func LegendSwatch(b *strings.Builder, x, y int, color, label string) {
 	fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y, color)
 	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n", x+18, y+10, InkSecond, label)
 }
+
+// Sparkline draws vals as a compact polyline filling the (x, y, w, h) box,
+// values scaled to the observed min/max (a flat series draws mid-height),
+// with a dot marking the final value. Points are evenly spaced; a single
+// value draws only the dot.
+func Sparkline(b *strings.Builder, x, y, w, h int, vals []float64, color string) {
+	if len(vals) == 0 {
+		return
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	px := func(i int) float64 {
+		if len(vals) == 1 {
+			return float64(x + w)
+		}
+		return float64(x) + float64(i)*float64(w)/float64(len(vals)-1)
+	}
+	py := func(v float64) float64 {
+		if hi == lo {
+			return float64(y) + float64(h)/2
+		}
+		return float64(y+h) - (v-lo)/(hi-lo)*float64(h)
+	}
+	if len(vals) > 1 {
+		var pts strings.Builder
+		for i, v := range vals {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", px(i), py(v))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			pts.String(), color)
+	}
+	last := len(vals) - 1
+	fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(last), py(vals[last]), color)
+}

@@ -63,6 +63,25 @@ function bar(color, frac, label) {
 }
 
 function fmtT(ns) { return (ns / 1e9).toFixed(2) + 's'; }
+function fmtMs(ns) { return (ns / 1e6).toFixed(2) + 'ms'; }
+
+// latencyStrip renders the live p50/p99 view of each latency histogram in
+// the latest sample: both quantiles as bars on a shared scale (the largest
+// p99 in the sample), so queue buildup reads as the p99 bar running away
+// from the p50 bar.
+function latencyStrip(lats) {
+  let maxNs = 1;
+  for (const l of lats) maxNs = Math.max(maxNs, l.p99_ns);
+  let html = '<table class="latency"><tr><th>latency</th><th>count</th>' +
+    '<th>p50</th><th>p99</th></tr>';
+  lats.forEach((l, i) => {
+    const c = PALETTE[i % PALETTE.length];
+    html += '<tr><td>' + l.name + '</td><td>' + l.count + '</td>' +
+      '<td>' + bar(c, l.p50_ns / maxNs, fmtMs(l.p50_ns)) + '</td>' +
+      '<td>' + bar(c, l.p99_ns / maxNs, fmtMs(l.p99_ns)) + '</td></tr>';
+  });
+  return html + '</table>';
+}
 
 function render() {
   const done = state.runs.filter(r => r.done).length;
@@ -103,6 +122,13 @@ function render() {
         html += '<tr><td>' + q.queue + '</td><td>' + q.depth + '</td><td>' +
           q.high_water + '</td></tr>';
       html += '</table>';
+    }
+    if (last && last.latencies && last.latencies.length)
+      html += latencyStrip(last.latencies);
+    if (run.sched) {
+      const parts = Object.keys(run.sched).sort()
+        .map(k => k + ' ' + run.sched[k]);
+      html += '<div class="meta sched">scheduler: ' + parts.join(' · ') + '</div>';
     }
     if (run.events && run.events.length) {
       html += '<div class="events">';
@@ -149,6 +175,7 @@ es.onmessage = ev => {
       run.done = true;
       run.runtime_sec = m.runtime_sec;
       run.verdict = m.verdict;
+      if (m.sched) run.sched = m.sched;
     }
   }
   scheduleRender();

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"lmas/internal/telemetry"
@@ -26,6 +27,9 @@ type LiveRun struct {
 	Done       bool     `json:"done"`
 	RuntimeSec float64  `json:"runtime_sec,omitempty"`
 	Verdict    string   `json:"verdict,omitempty"`
+	// Sched holds the finished run's sim.scheduler.* counters (wheel hits,
+	// heap spills, proc reuses), keyed by the counter's last name segment.
+	Sched map[string]int64 `json:"sched,omitempty"`
 }
 
 // Live is the monitoring backend: runs stream their records in (possibly
@@ -105,6 +109,10 @@ func (l *Live) appendEventLocked(run *LiveRun, e Event) {
 	l.broadcastLocked("event", run.Header.RunID, map[string]any{"event": e})
 }
 
+// Span drops trace events: the live view is a bounded recent-state strip,
+// and full traces belong in the store backend.
+func (r *liveRec) Span(Span) {}
+
 func (r *liveRec) Finish(rep *telemetry.RunReport) {
 	if r.run == nil {
 		return
@@ -114,6 +122,14 @@ func (r *liveRec) Finish(rep *telemetry.RunReport) {
 	r.run.Done = true
 	if rep != nil {
 		r.run.RuntimeSec = rep.RuntimeSec
+		for _, c := range rep.Counters {
+			if rest, ok := strings.CutPrefix(c.Name, "sim.scheduler."); ok {
+				if r.run.Sched == nil {
+					r.run.Sched = make(map[string]int64)
+				}
+				r.run.Sched[rest] = c.Value
+			}
+		}
 		if cp := rep.Critpath; cp != nil {
 			v := cp.Verdict
 			r.run.Verdict = fmt.Sprintf("%s (%.1f%% of per-instance congestion)",
@@ -127,10 +143,14 @@ func (r *liveRec) Finish(rep *telemetry.RunReport) {
 			})
 		}
 	}
-	l.broadcastLocked("finish", r.run.Header.RunID, map[string]any{
+	finish := map[string]any{
 		"runtime_sec": r.run.RuntimeSec,
 		"verdict":     r.run.Verdict,
-	})
+	}
+	if r.run.Sched != nil {
+		finish["sched"] = r.run.Sched
+	}
+	l.broadcastLocked("finish", r.run.Header.RunID, finish)
 	l.mu.Unlock()
 }
 

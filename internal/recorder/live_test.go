@@ -2,11 +2,14 @@ package recorder
 
 import (
 	"bufio"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"lmas/internal/telemetry"
 )
 
 // TestLiveHTTPSmoke drives the monitoring server the way a browser does:
@@ -23,10 +26,9 @@ func TestLiveHTTPSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := make([]byte, 1<<20)
-	n, _ := resp.Body.Read(body)
+	pageBytes, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	page := string(body[:n])
+	page := string(pageBytes)
 	if resp.StatusCode != 200 || !strings.Contains(page, "lmas monitor") {
 		t.Fatalf("dashboard: status %d, page %q...", resp.StatusCode, page[:min(len(page), 80)])
 	}
@@ -36,10 +38,10 @@ func TestLiveHTTPSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, _ = resp.Body.Read(body)
+	stateBytes, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body[:n]), `"runs"`) {
-		t.Fatalf("/api/state = %q", body[:n])
+	if !strings.Contains(string(stateBytes), `"runs"`) {
+		t.Fatalf("/api/state = %q", stateBytes)
 	}
 
 	// Open the SSE stream, then record a run while it is connected.
@@ -83,16 +85,41 @@ func TestLiveHTTPSmoke(t *testing.T) {
 
 	rec := live.NewRun()
 	rec.Begin(testHeader("bench", "cell-a"))
-	rec.Sample(Sample{T: 100, Nodes: []NodeSample{{Node: "host0", CPU: 0.5}}})
-	rec.Finish(testReport("cell-a"))
+	rec.Sample(Sample{T: 100,
+		Nodes:     []NodeSample{{Node: "host0", CPU: 0.5}},
+		Latencies: []LatencySnapshot{{Name: "openloop.job.latency", Count: 12, P50Ns: 3e6, P99Ns: 9e6}},
+	})
+	rep := testReport("cell-a")
+	rep.Counters = append(rep.Counters,
+		telemetry.CounterReport{Name: "sim.scheduler.wheel_hits", Value: 41},
+		telemetry.CounterReport{Name: "sim.scheduler.heap_spills", Value: 3},
+		telemetry.CounterReport{Name: "sim.scheduler.proc_reuses", Value: 17})
+	rec.Finish(rep)
 
 	if ln := waitFor(`"type":"begin"`); !strings.Contains(ln, "cell-a") {
 		t.Fatalf("begin message lacks run name: %q", ln)
 	}
-	if ln := waitFor(`"type":"sample"`); !strings.Contains(ln, "host0") {
-		t.Fatalf("sample message lacks node: %q", ln)
+	// The latency strip rides the sample payload...
+	sampleLn := waitFor(`"type":"sample"`)
+	for _, want := range []string{"host0", `"latencies"`, "openloop.job.latency"} {
+		if !strings.Contains(sampleLn, want) {
+			t.Fatalf("sample message lacks %s: %q", want, sampleLn)
+		}
 	}
-	waitFor(`"type":"finish"`)
+	// ...and the scheduler counters ride the finish payload.
+	ln := waitFor(`"type":"finish"`)
+	for _, want := range []string{`"sched"`, `"wheel_hits":41`, `"heap_spills":3`, `"proc_reuses":17`} {
+		if !strings.Contains(ln, want) {
+			t.Fatalf("finish message lacks %s: %q", want, ln)
+		}
+	}
+
+	// The dashboard page itself knows how to render both.
+	for _, want := range []string{"latencyStrip", "run.sched"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard page lacks %s", want)
+		}
+	}
 }
 
 // TestLiveBoundedHistory: the live view trims to its caps instead of growing

@@ -1,0 +1,147 @@
+package recorder
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lmas/internal/telemetry"
+)
+
+// seqSink/seqRec log every recorder call into one shared ordered log as
+// "<sink>:<call>", so tests can pin both the fan-out order across sinks and
+// the interleaving of record kinds within one run.
+type seqSink struct {
+	name string
+	log  *[]string
+}
+
+func (s *seqSink) NewRun() Recorder {
+	*s.log = append(*s.log, s.name+":new")
+	return &seqRec{sink: s}
+}
+
+type seqRec struct{ sink *seqSink }
+
+func (r *seqRec) note(call string) {
+	*r.sink.log = append(*r.sink.log, r.sink.name+":"+call)
+}
+
+func (r *seqRec) Begin(h *Header) {
+	// Backends fill volatile header fields in place; emulate the store so
+	// the test can check later sinks see earlier sinks' assignments.
+	if h.RunID == "" {
+		h.RunID = "assigned-by-" + r.sink.name
+	}
+	r.note("begin(" + h.RunID + ")")
+}
+func (r *seqRec) Sample(s Sample) { r.note(fmt.Sprintf("sample(t=%d)", s.T)) }
+func (r *seqRec) Event(e Event)   { r.note(fmt.Sprintf("event(%s)", e.Kind)) }
+func (r *seqRec) Span(sp Span)    { r.note(fmt.Sprintf("span(%s)", sp.Ph)) }
+func (r *seqRec) Finish(rep *telemetry.RunReport) {
+	r.note(fmt.Sprintf("finish(nil=%v)", rep == nil))
+}
+
+// TestMultiFanOutOrdering pins the Multi contract: every call fans out to
+// each underlying recorder in sink order, records of different kinds stay in
+// call order, and the header mutated by the first sink is the header later
+// sinks receive.
+func TestMultiFanOutOrdering(t *testing.T) {
+	cases := []struct {
+		name  string
+		drive func(rec Recorder)
+		want  []string
+	}{
+		{
+			name: "begin_propagates_assigned_id",
+			drive: func(rec Recorder) {
+				rec.Begin(&Header{Experiment: "e"})
+			},
+			want: []string{
+				"a:new", "b:new", "c:new",
+				"a:begin(assigned-by-a)", "b:begin(assigned-by-a)", "c:begin(assigned-by-a)",
+			},
+		},
+		{
+			name: "kinds_interleave_in_call_order",
+			drive: func(rec Recorder) {
+				rec.Begin(&Header{RunID: "r1"})
+				rec.Sample(Sample{T: 100})
+				rec.Span(Span{T: 110, Ph: "B"})
+				rec.Event(Event{T: 120, Kind: "decision"})
+				rec.Span(Span{T: 130, Ph: "E"})
+				rec.Sample(Sample{T: 200})
+				rec.Finish(testReport("cell"))
+			},
+			want: []string{
+				"a:new", "b:new", "c:new",
+				"a:begin(r1)", "b:begin(r1)", "c:begin(r1)",
+				"a:sample(t=100)", "b:sample(t=100)", "c:sample(t=100)",
+				"a:span(B)", "b:span(B)", "c:span(B)",
+				"a:event(decision)", "b:event(decision)", "c:event(decision)",
+				"a:span(E)", "b:span(E)", "c:span(E)",
+				"a:sample(t=200)", "b:sample(t=200)", "c:sample(t=200)",
+				"a:finish(nil=false)", "b:finish(nil=false)", "c:finish(nil=false)",
+			},
+		},
+		{
+			name: "failed_run_finishes_nil_everywhere",
+			drive: func(rec Recorder) {
+				rec.Begin(&Header{RunID: "r2"})
+				rec.Finish(nil)
+			},
+			want: []string{
+				"a:new", "b:new", "c:new",
+				"a:begin(r2)", "b:begin(r2)", "c:begin(r2)",
+				"a:finish(nil=true)", "b:finish(nil=true)", "c:finish(nil=true)",
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var log []string
+			m := Multi{
+				&seqSink{name: "a", log: &log},
+				&seqSink{name: "b", log: &log},
+				&seqSink{name: "c", log: &log},
+			}
+			c.drive(m.NewRun())
+			if got, want := strings.Join(log, "\n"), strings.Join(c.want, "\n"); got != want {
+				t.Errorf("fan-out log:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestMultiStoreAndLive wires a real store and a real live backend under one
+// Multi and checks the division of labor on the span path: the store keeps
+// spans, the live view drops them, and both see the same run ID.
+func TestMultiStoreAndLive(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewLive()
+	rec := Multi{st, live}.NewRun()
+	h := testHeader("exp", "cell")
+	rec.Begin(h)
+	rec.Span(Span{T: 10, Ph: "X", DurNs: 5, Group: "g", Track: "t", TID: 1, Name: "op"})
+	rec.Finish(testReport("cell"))
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := st.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || len(runs[0].Spans()) != 1 {
+		t.Fatalf("store: %d runs, spans %v", len(runs), runs)
+	}
+	live.mu.Lock()
+	defer live.mu.Unlock()
+	if len(live.runs) != 1 || live.runs[0].Header.RunID != h.RunID {
+		t.Fatalf("live run mismatch: %+v vs header %+v", live.runs, h)
+	}
+}

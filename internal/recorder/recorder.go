@@ -67,13 +67,23 @@ type QueueSample struct {
 	High  int    `json:"high_water"`
 }
 
+// LatencySnapshot is one latency histogram's running summary at sample time,
+// the data behind the live dashboard's p50/p99 strip.
+type LatencySnapshot struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+}
+
 // Sample is one periodic virtual-time observation of the whole cluster.
-// Nodes follow cluster order (hosts first), queues registration order, so
-// samples are deterministic.
+// Nodes follow cluster order (hosts first), queues registration order, and
+// latencies telemetry registration order, so samples are deterministic.
 type Sample struct {
-	T      int64         `json:"t_ns"`
-	Nodes  []NodeSample  `json:"nodes,omitempty"`
-	Queues []QueueSample `json:"queues,omitempty"`
+	T         int64             `json:"t_ns"`
+	Nodes     []NodeSample      `json:"nodes,omitempty"`
+	Queues    []QueueSample     `json:"queues,omitempty"`
+	Latencies []LatencySnapshot `json:"latencies,omitempty"`
 }
 
 // Event is one streamed run event: a load-manager decision, a phase marker,
@@ -88,6 +98,32 @@ type Event struct {
 	Fields map[string]float64 `json:"fields,omitempty"`
 }
 
+// SpanArg is one ordered key/value annotation on a stored span, mirroring
+// trace.Arg without importing it (this package must stay importable from the
+// trace-consuming layers without a cycle).
+type SpanArg struct {
+	Key string `json:"k"`
+	Val any    `json:"v"`
+}
+
+// Span is one trace event streamed into the record: a complete span, a
+// begin/end edge, an instant, or a counter sample, in the Chrome trace-event
+// phase vocabulary. Group/Track are resolved display names; TID is the
+// originating sink's track id, unique within one run, which keeps distinct
+// same-named tracks (two procs called "merge") on distinct timelines when
+// the stored run is re-exported.
+type Span struct {
+	T     int64     `json:"t_ns"`
+	DurNs int64     `json:"dur_ns,omitempty"`
+	Ph    string    `json:"ph"`
+	Group string    `json:"group"`
+	Track string    `json:"track"`
+	TID   int32     `json:"tid"`
+	Name  string    `json:"name,omitempty"`
+	Cat   string    `json:"cat,omitempty"`
+	Args  []SpanArg `json:"args,omitempty"`
+}
+
 // Finish closes a run record with its full RunReport — counters, gauges,
 // histograms, utilization series, decisions, and the critpath verdict all
 // ride in the report, so a stored run reconstructs the exact report bytes.
@@ -100,6 +136,7 @@ type Finish struct {
 type Record struct {
 	Sample *Sample `json:"sample,omitempty"`
 	Event  *Event  `json:"event,omitempty"`
+	Span   *Span   `json:"span,omitempty"`
 	Finish *Finish `json:"finish,omitempty"`
 }
 
@@ -115,6 +152,9 @@ type Recorder interface {
 	Sample(s Sample)
 	// Event records one streamed event.
 	Event(e Event)
+	// Span records one streamed trace event. Backends that do not keep
+	// traces (the live dashboard) may drop spans.
+	Span(sp Span)
 	// Finish closes the run with its completed report (nil if the run
 	// failed before reporting).
 	Finish(rep *telemetry.RunReport)
@@ -158,6 +198,12 @@ func (m multiRecorder) Sample(s Sample) {
 func (m multiRecorder) Event(e Event) {
 	for _, r := range m {
 		r.Event(e)
+	}
+}
+
+func (m multiRecorder) Span(sp Span) {
+	for _, r := range m {
+		r.Span(sp)
 	}
 }
 

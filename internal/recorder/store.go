@@ -138,6 +138,7 @@ func (r *storeRun) writeLine(v any) {
 
 func (r *storeRun) Sample(s Sample) { r.writeLine(Record{Sample: &s}) }
 func (r *storeRun) Event(e Event)   { r.writeLine(Record{Event: &e}) }
+func (r *storeRun) Span(sp Span)    { r.writeLine(Record{Span: &sp}) }
 
 func (r *storeRun) Finish(rep *telemetry.RunReport) {
 	r.writeLine(Record{Finish: &Finish{Report: rep}})
@@ -194,6 +195,18 @@ func (r *RunRecord) Events() []Event {
 	return out
 }
 
+// Spans returns the run's streamed trace events in stream order — which is
+// emission order, the order Perfetto export expects.
+func (r *RunRecord) Spans() []Span {
+	var out []Span
+	for _, rec := range r.Records {
+		if rec.Span != nil {
+			out = append(out, *rec.Span)
+		}
+	}
+	return out
+}
+
 // Replay feeds the stored run into rec in original stream order — this is
 // how `lmasreport serve` pushes a finished run onto the live dashboard.
 func (r *RunRecord) Replay(rec Recorder) {
@@ -206,6 +219,8 @@ func (r *RunRecord) Replay(rec Recorder) {
 			rec.Sample(*record.Sample)
 		case record.Event != nil:
 			rec.Event(*record.Event)
+		case record.Span != nil:
+			rec.Span(*record.Span)
 		case record.Finish != nil:
 			rec.Finish(record.Finish.Report)
 			finished = true
@@ -309,6 +324,35 @@ func (st *Store) Select(experiment string) ([]*RunRecord, error) {
 		out = append(out, latest[k])
 	}
 	return out, nil
+}
+
+// Prune deletes the oldest segments beyond the newest keep runs, ordered by
+// (header start time, run ID) — the retention policy for long-lived stores,
+// whose runs/ directory otherwise grows one segment per run forever. It
+// returns the pruned (or, with dryRun, would-be-pruned) runs oldest-first;
+// with dryRun no file is touched. keep < 0 is an error; keep == 0 empties
+// the store.
+func (st *Store) Prune(keep int, dryRun bool) ([]*RunRecord, error) {
+	if keep < 0 {
+		return nil, fmt.Errorf("prune: keep %d is negative", keep)
+	}
+	runs, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) <= keep {
+		return nil, nil
+	}
+	victims := runs[:len(runs)-keep]
+	if dryRun {
+		return victims, nil
+	}
+	for _, run := range victims {
+		if err := os.Remove(run.Path); err != nil {
+			return nil, err
+		}
+	}
+	return victims, nil
 }
 
 // TrajectoryOf rebuilds a bench trajectory from stored runs' embedded

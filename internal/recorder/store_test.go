@@ -1,6 +1,7 @@
 package recorder
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -82,6 +83,7 @@ type captureRec struct{ kinds *[]string }
 func (c *captureRec) Begin(*Header)               { *c.kinds = append(*c.kinds, "begin") }
 func (c *captureRec) Sample(Sample)               { *c.kinds = append(*c.kinds, "sample") }
 func (c *captureRec) Event(Event)                 { *c.kinds = append(*c.kinds, "event") }
+func (c *captureRec) Span(Span)                   { *c.kinds = append(*c.kinds, "span") }
 func (c *captureRec) Finish(*telemetry.RunReport) { *c.kinds = append(*c.kinds, "finish") }
 
 // TestSelectLatestPerCell: re-recorded cells supersede older segments; other
@@ -163,4 +165,79 @@ func stripHeaderLine(t *testing.T, b []byte) []byte {
 	}
 	t.Fatalf("segment has no newline: %q", b)
 	return nil
+}
+
+// TestStorePrune: the retention policy keeps the newest N segments, dry-run
+// touches nothing, and degenerate keeps behave (negative errors, oversized
+// keep is a no-op, zero empties the store).
+func TestStorePrune(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		rec := st.NewRun()
+		h := testHeader("bench", fmt.Sprintf("cell-%d", i))
+		rec.Begin(h)
+		rec.Finish(testReport(h.Name))
+		ids = append(ids, h.RunID)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Prune(-1, false); err == nil {
+		t.Fatal("negative keep did not error")
+	}
+	if victims, err := st.Prune(10, false); err != nil || victims != nil {
+		t.Fatalf("oversized keep: victims %v, err %v", victims, err)
+	}
+
+	// Dry run lists the 3 oldest but deletes nothing.
+	victims, err := st.Prune(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 3 {
+		t.Fatalf("dry-run victims = %d, want 3", len(victims))
+	}
+	for i, v := range victims {
+		if v.Header.RunID != ids[i] {
+			t.Fatalf("victim %d = %s, want oldest-first %s", i, v.Header.RunID, ids[i])
+		}
+		if _, err := os.Stat(v.Path); err != nil {
+			t.Fatalf("dry run removed %s: %v", v.Path, err)
+		}
+	}
+
+	// Real prune removes those segments; the newest 2 survive.
+	victims, err = st.Prune(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 3 {
+		t.Fatalf("victims = %d, want 3", len(victims))
+	}
+	for _, v := range victims {
+		if _, err := os.Stat(v.Path); !os.IsNotExist(err) {
+			t.Fatalf("victim %s still on disk (err %v)", v.Path, err)
+		}
+	}
+	left, err := st.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 || left[0].Header.RunID != ids[3] || left[1].Header.RunID != ids[4] {
+		t.Fatalf("survivors: %v, want %v", left, ids[3:])
+	}
+
+	// keep == 0 empties the store.
+	if victims, err = st.Prune(0, false); err != nil || len(victims) != 2 {
+		t.Fatalf("prune to zero: %d victims, err %v", len(victims), err)
+	}
+	if left, err = st.Runs(); err != nil || len(left) != 0 {
+		t.Fatalf("store not empty after prune 0: %v (err %v)", left, err)
+	}
 }

@@ -1,0 +1,122 @@
+package recorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ComposeTrace merges the stored trace spans of any set of runs into one
+// Chrome trace-event JSON document (loadable in Perfetto or chrome://tracing).
+// Each (run, track group) pair becomes a process named "<run-id>/<group>" and
+// each stored track a thread within it, so sweep cells and revisions of the
+// same cell sit side by side on one timeline — the cross-run view a single
+// trace file cannot give. Runs contribute in the order given, spans in stream
+// (emission) order; the output is byte-stable for identical inputs.
+func ComposeTrace(w io.Writer, runs []*RunRecord) error {
+	var sb strings.Builder
+	sb.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		sb.WriteString("\n")
+	}
+	writeStr := func(v string) {
+		b, _ := json.Marshal(v)
+		sb.Write(b)
+	}
+	// Pass 1: name every process and thread before any event references it.
+	// pids are assigned by first appearance across the given run order;
+	// tids reuse the stored per-run track ids (unique within a run, and
+	// every pid belongs to exactly one run).
+	type pidKey struct {
+		run   int
+		group string
+	}
+	pids := make(map[pidKey]int)
+	type tidKey struct {
+		run int
+		tid int32
+	}
+	namedTIDs := make(map[tidKey]bool)
+	for ri, run := range runs {
+		for _, sp := range run.Spans() {
+			pk := pidKey{ri, sp.Group}
+			pid, ok := pids[pk]
+			if !ok {
+				pid = len(pids)
+				pids[pk] = pid
+				sep()
+				fmt.Fprintf(&sb, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":`, pid)
+				writeStr(run.Header.RunID + "/" + sp.Group)
+				sb.WriteString(`}}`)
+			}
+			tk := tidKey{ri, sp.TID}
+			if !namedTIDs[tk] {
+				namedTIDs[tk] = true
+				sep()
+				fmt.Fprintf(&sb, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":`, pid, sp.TID)
+				writeStr(sp.Track)
+				sb.WriteString(`}}`)
+			}
+		}
+	}
+	// Pass 2: the events themselves.
+	for ri, run := range runs {
+		for _, sp := range run.Spans() {
+			sep()
+			sb.WriteString(`{"name":`)
+			writeStr(sp.Name)
+			if sp.Cat != "" {
+				sb.WriteString(`,"cat":`)
+				writeStr(sp.Cat)
+			}
+			fmt.Fprintf(&sb, `,"ph":%s,"ts":%s`, mustJSONString(sp.Ph), composeUsec(sp.T))
+			if sp.Ph == "X" {
+				fmt.Fprintf(&sb, `,"dur":%s`, composeUsec(sp.DurNs))
+			}
+			if sp.Ph == "i" {
+				sb.WriteString(`,"s":"t"`)
+			}
+			fmt.Fprintf(&sb, `,"pid":%d,"tid":%d`, pids[pidKey{ri, sp.Group}], sp.TID)
+			if len(sp.Args) > 0 {
+				sb.WriteString(`,"args":{`)
+				for i, a := range sp.Args {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					writeStr(a.Key)
+					sb.WriteByte(':')
+					b, err := json.Marshal(a.Val)
+					if err != nil {
+						return fmt.Errorf("compose trace: run %s arg %q: %w",
+							run.Header.RunID, a.Key, err)
+					}
+					sb.Write(b)
+				}
+				sb.WriteByte('}')
+			}
+			sb.WriteString(`}`)
+		}
+	}
+	sb.WriteString("\n]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// composeUsec renders a nanosecond stamp as the microseconds the trace
+// format expects, with fixed precision so output is byte-stable (mirrors
+// trace.usec, which this package cannot import).
+func composeUsec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+func mustJSONString(v string) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

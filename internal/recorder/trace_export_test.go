@@ -1,0 +1,139 @@
+package recorder
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// composeFixture stores two runs with spans and returns their records in
+// store order.
+func composeFixture(t *testing.T) []*RunRecord {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"cell-a", "cell-b"} {
+		rec := st.NewRun()
+		h := testHeader("exp", cell)
+		rec.Begin(h)
+		rec.Span(Span{T: 1000, DurNs: 500, Ph: "X", Group: "host0", Track: "host0.cpu", TID: 1,
+			Name: "compute", Cat: "cpu", Args: []SpanArg{{Key: "bytes", Val: 4096}}})
+		rec.Span(Span{T: 2000, Ph: "B", Group: "host0", Track: "merge", TID: 2, Name: "merge"})
+		rec.Span(Span{T: 2500, Ph: "E", Group: "host0", Track: "merge", TID: 2})
+		rec.Span(Span{T: 3000, Ph: "i", Group: "asu0", Track: "jobs", TID: 3, Name: "enqueue"})
+		rec.Finish(testReport(cell))
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := st.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("fixture runs = %d", len(runs))
+	}
+	return runs
+}
+
+// TestComposeTraceValidChromeJSON asserts the acceptance property directly:
+// the composed output parses as Chrome trace-event JSON with the expected
+// structure — metadata names every process/thread, data events carry legal
+// phases and resolve to named (pid, tid) pairs, and the two runs land in
+// distinct processes.
+func TestComposeTraceValidChromeJSON(t *testing.T) {
+	runs := composeFixture(t)
+	var buf bytes.Buffer
+	if err := ComposeTrace(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("composed output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	procs := make(map[int]string)    // pid -> process name
+	threads := make(map[[2]int]bool) // (pid, tid) named
+	dataEvents := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			if name == "" {
+				t.Fatalf("metadata event without name: %+v", ev)
+			}
+			switch ev.Name {
+			case "process_name":
+				procs[ev.PID] = name
+			case "thread_name":
+				if _, ok := procs[ev.PID]; !ok {
+					t.Fatalf("thread_name for unnamed pid %d", ev.PID)
+				}
+				threads[[2]int{ev.PID, ev.TID}] = true
+			default:
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+		case "X", "B", "E", "i", "C":
+			dataEvents++
+			if ev.TS == nil {
+				t.Fatalf("data event without ts: %+v", ev)
+			}
+			if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur != 0.5) {
+				t.Fatalf("complete span dur = %v, want 0.5us", ev.Dur)
+			}
+			if ev.Ph == "i" && ev.S != "t" {
+				t.Fatalf("instant event scope = %q, want t", ev.S)
+			}
+			if !threads[[2]int{ev.PID, ev.TID}] {
+				t.Fatalf("data event on unnamed (pid,tid)=(%d,%d)", ev.PID, ev.TID)
+			}
+		default:
+			t.Fatalf("illegal phase %q", ev.Ph)
+		}
+	}
+	if dataEvents != 8 {
+		t.Fatalf("data events = %d, want 8 (4 per run)", dataEvents)
+	}
+	// Each run contributes its own processes, named run-id/group.
+	wantProcs := make(map[string]bool)
+	for _, run := range runs {
+		wantProcs[run.Header.RunID+"/host0"] = true
+		wantProcs[run.Header.RunID+"/asu0"] = true
+	}
+	if len(procs) != len(wantProcs) {
+		t.Fatalf("processes = %v", procs)
+	}
+	for _, name := range procs {
+		if !wantProcs[name] {
+			t.Fatalf("unexpected process %q (all: %v)", name, procs)
+		}
+	}
+
+	// Byte stability: composing the same records again is identical.
+	var buf2 bytes.Buffer
+	if err := ComposeTrace(&buf2, runs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("ComposeTrace output is not byte-stable")
+	}
+}

@@ -125,6 +125,10 @@ func newDistributed(cl *cluster.Cluster, entries []Entry, fanout int, mode Mode,
 // Mode reports the organization.
 func (dt *Distributed) Mode() Mode { return dt.mode }
 
+// Cluster returns the underlying emulated cluster, giving harnesses access
+// to its telemetry (the per-query latency histogram) and reporting.
+func (dt *Distributed) Cluster() *cluster.Cluster { return dt.cl }
+
 // asuWork is the per-ASU share of one query.
 type asuWork struct {
 	asu int
@@ -236,9 +240,15 @@ func (dt *Distributed) plan(q Rect) (work []asuWork, hostOps float64, hostMatche
 }
 
 // runQuery executes one query from proc p on the given host, blocking
-// until all contacted ASUs respond. Returns the matching IDs.
+// until all contacted ASUs respond. Returns the matching IDs. Each query's
+// start-to-gather latency lands in the cluster's "rtree.query.latency"
+// histogram when telemetry is attached.
 func (dt *Distributed) runQuery(p *sim.Proc, host *cluster.Node, q Rect, qIdx int) []uint32 {
 	cl := dt.cl
+	start := p.Now()
+	defer func() {
+		cl.Telemetry.Latency("rtree.query.latency").Observe(sim.Duration(p.Now() - start))
+	}()
 	work, hostOps, hostMatches := dt.plan(q)
 	host.Compute(p, hostOps+cl.Touch(host))
 	if len(work) == 0 {

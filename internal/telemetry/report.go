@@ -100,6 +100,58 @@ type HistogramReport struct {
 	P99    float64   `json:"p99"`
 }
 
+// LatencyBucket is one nonzero bucket of a latency histogram: the inclusive
+// upper bound of the bucket in nanoseconds and its observation count. Only
+// nonzero buckets are exported, so sparse distributions stay compact.
+type LatencyBucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// LatencyReport is one latency histogram's distribution and summary
+// quantiles. All values are integer nanoseconds of virtual time — pure
+// functions of the bucket layout, byte-identical across engines.
+type LatencyReport struct {
+	Name    string          `json:"name"`
+	Count   int64           `json:"count"`
+	SumNs   int64           `json:"sum_ns"`
+	MinNs   int64           `json:"min_ns"`
+	MaxNs   int64           `json:"max_ns"`
+	P50Ns   int64           `json:"p50_ns"`
+	P90Ns   int64           `json:"p90_ns"`
+	P99Ns   int64           `json:"p99_ns"`
+	P999Ns  int64           `json:"p999_ns"`
+	Buckets []LatencyBucket `json:"buckets"`
+}
+
+// SLOBlame attributes part of a horizon's missed-deadline time to one
+// (resource class, node) pair, in the critpath charge vocabulary.
+type SLOBlame struct {
+	Class string  `json:"class"`
+	Node  string  `json:"node"`
+	Ns    int64   `json:"ns"`
+	Share float64 `json:"share"`
+}
+
+// SLOHorizon is one rung of the deadline ladder: how many jobs missed the
+// horizon'th deadline and where the missing jobs' time had gone by then.
+type SLOHorizon struct {
+	Horizon    int        `json:"horizon"`
+	DeadlineNs int64      `json:"deadline_ns"`
+	Misses     int64      `json:"misses"`
+	Dominant   string     `json:"dominant,omitempty"`
+	Blame      []SLOBlame `json:"blame,omitempty"`
+}
+
+// SLOReport is the service-level summary of an open-loop run: the deadline
+// ladder with per-horizon miss counts and blame mixes, plus goodput (jobs
+// completing inside the first deadline per virtual second).
+type SLOReport struct {
+	TimeoutNs     int64        `json:"timeout_ns"`
+	GoodputPerSec float64      `json:"goodput_per_sec"`
+	Horizons      []SLOHorizon `json:"horizons"`
+}
+
 // RunReport is the machine-readable record of one simulation run: what was
 // configured, how long it took, how busy every resource was, every registered
 // instrument, and the load manager's decision audit log. Reports are
@@ -116,7 +168,10 @@ type RunReport struct {
 	Counters   []CounterReport   `json:"counters,omitempty"`
 	Gauges     []GaugeReport     `json:"gauges,omitempty"`
 	Histograms []HistogramReport `json:"histograms,omitempty"`
-	Decisions  []Decision        `json:"decisions,omitempty"`
+	Latencies  []LatencyReport   `json:"latencies,omitempty"`
+	// SLO is the deadline-ladder summary, present for open-loop runs.
+	SLO       *SLOReport `json:"slo,omitempty"`
+	Decisions []Decision `json:"decisions,omitempty"`
 	// Critpath is the latency-attribution summary, present when a
 	// critical-path profiler was attached for the run.
 	Critpath *critpath.Report `json:"critpath,omitempty"`
@@ -167,6 +222,13 @@ func (r *Registry) Fill(rep *RunReport) {
 		})
 	}
 	sort.Slice(rep.Histograms, func(i, j int) bool { return rep.Histograms[i].Name < rep.Histograms[j].Name })
+	for _, h := range r.lats {
+		if h.count == 0 {
+			continue
+		}
+		rep.Latencies = append(rep.Latencies, h.Report())
+	}
+	sort.Slice(rep.Latencies, func(i, j int) bool { return rep.Latencies[i].Name < rep.Latencies[j].Name })
 	rep.Decisions = r.decisions
 }
 

@@ -200,6 +200,7 @@ type Registry struct {
 	counters  []*Counter
 	gauges    []*Gauge
 	hists     []*Histogram
+	lats      []*LatencyHistogram
 	byName    map[string]any
 	decisions []Decision
 	onDecide  func(Decision)

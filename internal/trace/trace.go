@@ -73,6 +73,59 @@ type Sink struct {
 	tracks   []trackInfo // tracks[i] describes Track(i+1)
 	shared   map[string]Track
 	events   []event
+	streamer func(StreamEvent)
+}
+
+// StreamEvent is one trace event in self-describing form: track identity is
+// resolved to group/track names so a consumer outside this package (the run
+// recorder) can persist it without holding the Sink's track table.
+type StreamEvent struct {
+	TS    Time
+	Dur   Time // phase 'X' only
+	Ph    byte
+	Group string
+	Track string
+	TID   int32 // the Sink-local track id, stable within one run
+	Name  string
+	Cat   string
+	Args  []Arg
+}
+
+func (s *Sink) streamEvent(e event) StreamEvent {
+	ti := s.tracks[e.track-1]
+	return StreamEvent{
+		TS:    e.ts,
+		Dur:   e.dur,
+		Ph:    e.ph,
+		Group: s.groups[ti.group],
+		Track: ti.name,
+		TID:   int32(e.track),
+		Name:  e.name,
+		Cat:   e.cat,
+		Args:  e.args,
+	}
+}
+
+// SetStreamer installs an observer called synchronously for every event as
+// it is recorded — the hook the run recorder uses to stream spans into store
+// segments. Events already buffered in the sink are replayed to fn first, so
+// the stream is complete regardless of when during setup the streamer is
+// attached. Nil clears it; no-op on a nil sink.
+//
+// Events are appended from the simulation's event-loop side only, and event
+// order is engine-independent (pinned by the cross-engine trace tests), so
+// the stream a deterministic run produces is itself deterministic.
+func (s *Sink) SetStreamer(fn func(StreamEvent)) {
+	if s == nil {
+		return
+	}
+	s.streamer = fn
+	if fn == nil {
+		return
+	}
+	for _, e := range s.events {
+		fn(s.streamEvent(e))
+	}
 }
 
 // New creates an empty sink.
@@ -154,6 +207,9 @@ func (s *Sink) add(e event) {
 		return
 	}
 	s.events = append(s.events, e)
+	if s.streamer != nil {
+		s.streamer(s.streamEvent(e))
+	}
 }
 
 // Begin opens a span on tr at ts. Spans on one track must nest: close them
